@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table benches: suite construction,
+ * baseline/perfect caching, scheme config shortcuts, and headers.
+ */
+
+#ifndef LBP_BENCH_BENCH_COMMON_HH
+#define LBP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+namespace lbp::bench {
+
+/** Everything a figure bench needs to get going. */
+struct Context
+{
+    BenchEnv env;
+    std::vector<Program> suite;
+    SimConfig base;  ///< TAGE-only baseline configuration
+
+    SuiteResult baseline;  ///< TAGE-only results (computed in make())
+
+    static Context
+    make(const char *title)
+    {
+        Context ctx;
+        ctx.env = BenchEnv::fromEnvironment();
+        SuiteOptions opts;
+        opts.maxWorkloads = ctx.env.maxWorkloads;
+        ctx.suite = buildSuite(opts);
+        ctx.env.apply(ctx.base);
+
+        std::printf("=== %s ===\n", title);
+        std::printf("suite: %zu workloads | %llu warm-up + %llu measured "
+                    "instructions each\n",
+                    ctx.suite.size(),
+                    static_cast<unsigned long long>(ctx.env.warmupInstrs),
+                    static_cast<unsigned long long>(
+                        ctx.env.measureInstrs));
+        std::printf("core: 4-wide OOO, 224 ROB, TAGE %.1fKB baseline "
+                    "(Table 2)\n\n",
+                    ctx.base.tage.storageKB());
+
+        ctx.baseline = runSuite(ctx.suite, ctx.base);
+        return ctx;
+    }
+
+    /** Config with CBPw-Loop128 and the given repair scheme. */
+    SimConfig
+    withScheme(RepairKind kind) const
+    {
+        SimConfig cfg = base;
+        cfg.useLocal = true;
+        cfg.repair.kind = kind;
+        return cfg;
+    }
+};
+
+/** Percent of perfect-repair IPC gains a scheme retains. */
+inline double
+retainedPct(double scheme_gain, double perfect_gain)
+{
+    return perfect_gain > 0.0 ? 100.0 * scheme_gain / perfect_gain : 0.0;
+}
+
+} // namespace lbp::bench
+
+#endif // LBP_BENCH_BENCH_COMMON_HH

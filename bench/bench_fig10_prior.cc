@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 10 reproduction: the prior repair techniques — backward-walk
+ * history file and whole-BHT snapshots — across structure/port
+ * configurations M-N-P (M entries, N checkpoint read ports, P BHT
+ * write ports), normalized to perfect repair.
+ */
+
+#include "bench/bench_common.hh"
+#include "common/stats.hh"
+
+using namespace lbp;
+using namespace lbp::bench;
+
+int
+main()
+{
+    Context ctx = Context::make(
+        "Figure 10: backward-walk HF and snapshot repair vs ports");
+
+    const SuiteResult perfect =
+        runSuite(ctx.suite, ctx.withScheme(RepairKind::Perfect));
+    const double perfect_ipc = ipcGainPct(ctx.baseline, perfect);
+    std::printf("perfect repair: %+0.2f%% IPC, %+0.1f%% MPKI\n\n",
+                perfect_ipc, mpkiReductionPct(ctx.baseline, perfect));
+
+    const RepairPorts configs[] = {
+        {64, 64, 64}, {16, 16, 16}, {32, 8, 8}, {32, 4, 4},
+    };
+
+    TextTable t({"Scheme", "config M-N-P", "MPKI redn", "IPC gain",
+                 "% of perfect"});
+    for (const RepairKind kind :
+         {RepairKind::BackwardWalk, RepairKind::Snapshot}) {
+        for (const RepairPorts &ports : configs) {
+            SimConfig cfg = ctx.withScheme(kind);
+            cfg.repair.ports = ports;
+            const SuiteResult res = runSuite(ctx.suite, cfg);
+            const double ipc = ipcGainPct(ctx.baseline, res);
+            t.addRow({repairKindName(kind),
+                      std::to_string(ports.entries) + "-" +
+                          std::to_string(ports.readPorts) + "-" +
+                          std::to_string(ports.bhtWritePorts),
+                      fmtPercent(mpkiReductionPct(ctx.baseline, res) /
+                                     100.0, 1),
+                      fmtPercent(ipc / 100.0, 2),
+                      fmtPercent(retainedPct(ipc, perfect_ipc) / 100.0,
+                                 0)});
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper: with 64-64-64 both schemes retain most of the "
+                "gains; at realistic ports backward-walk holds ~50%% "
+                "while snapshot (32-8-8) drops well below 50%%.\n");
+    return 0;
+}

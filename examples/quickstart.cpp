@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: simulate one synthetic workload on the Skylake-like core
+ * with (a) the baseline TAGE predictor and (b) TAGE plus the CBPw-Loop
+ * local predictor under perfect repair and under the paper's
+ * forward-walk repair, and print the headline numbers.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+
+namespace {
+
+void
+report(const char *label, const RunResult &r)
+{
+    std::printf("%-28s IPC %.3f   MPKI %6.2f   overrides %llu "
+                "(%.1f%% correct)\n",
+                label, r.ipc, r.mpki,
+                static_cast<unsigned long long>(r.overrides),
+                r.overrides ? 100.0 * r.overridesCorrect / r.overrides
+                            : 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Build one Server-category workload from the reproduction suite.
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    const BranchCensus census = prog.census();
+    std::printf("workload %s: %u branch sites (%u loops, %u fwd-exits, "
+                "%u patterns, %u correlated, %u random)\n\n",
+                prog.name.c_str(), prog.numCondBranches(), census.loops,
+                census.forwardExits, census.patterns, census.correlated,
+                census.random);
+
+    SimConfig base;
+    base.warmupInstrs = 30000;
+    base.measureInstrs = 100000;
+
+    // (a) Baseline: TAGE only.
+    const RunResult tage_only = runOne(prog, base);
+    report("TAGE (7.1KB)", tage_only);
+
+    // (b) TAGE + CBPw-Loop128, perfect repair.
+    SimConfig perfect = base;
+    perfect.useLocal = true;
+    perfect.repair.kind = RepairKind::Perfect;
+    const RunResult r_perfect = runOne(prog, perfect);
+    report("+ CBPw-Loop128 (perfect)", r_perfect);
+
+    // (c) TAGE + CBPw-Loop128, forward-walk repair (FWD-32-4-2).
+    SimConfig fwd = base;
+    fwd.useLocal = true;
+    fwd.repair.kind = RepairKind::ForwardWalk;
+    fwd.repair.ports = {32, 4, 2};
+    fwd.repair.coalesce = true;
+    const RunResult r_fwd = runOne(prog, fwd);
+    report("+ CBPw-Loop128 (fwd walk)", r_fwd);
+
+    std::printf("\nIPC gain: perfect %+.2f%%, forward-walk %+.2f%%\n",
+                100.0 * (r_perfect.ipc / tage_only.ipc - 1.0),
+                100.0 * (r_fwd.ipc / tage_only.ipc - 1.0));
+    std::printf("MPKI reduction: perfect %+.1f%%, forward-walk %+.1f%%\n",
+                100.0 * (1.0 - r_perfect.mpki / tage_only.mpki),
+                100.0 * (1.0 - r_fwd.mpki / tage_only.mpki));
+    return 0;
+}

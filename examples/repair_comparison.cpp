@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Run one workload through every repair scheme and print a Table-3
+ * style comparison, including the scheme-internal counters (overrides,
+ * repairs, denied predictions) that explain *why* each scheme lands
+ * where it does.
+ *
+ * Usage: repair_comparison [category-index] [workload-index]
+ *   categories: 0 Server, 1 HPC, 2 ISPEC, 3 FSPEC, 4 MM, 5 BP,
+ *               6 Personal
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/stats.hh"
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+
+int
+main(int argc, char **argv)
+{
+    const unsigned cat =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 0;
+    const unsigned idx =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
+    if (cat >= categoryProfiles().size()) {
+        std::fprintf(stderr, "category index out of range\n");
+        return 1;
+    }
+
+    const Program prog =
+        buildWorkload(categoryProfiles()[cat], idx, SuiteOptions{}.seed);
+    std::printf("workload %s (%s): %u branch sites, %zu basic blocks\n\n",
+                prog.name.c_str(), prog.category.c_str(),
+                prog.numCondBranches(), prog.blocks.size());
+
+    SimConfig base;
+    base.warmupInstrs = 60000;
+    base.measureInstrs = 120000;
+    const RunResult baseline = runOne(prog, base);
+    std::printf("baseline TAGE (%.1fKB): IPC %.3f, MPKI %.2f\n\n",
+                baseline.tageKB, baseline.ipc, baseline.mpki);
+
+    struct Row
+    {
+        const char *name;
+        RepairKind kind;
+        RepairPorts ports;
+        bool coalesce;
+    };
+    const Row rows[] = {
+        {"no-repair", RepairKind::NoRepair, {32, 4, 2}, false},
+        {"retire-update", RepairKind::RetireUpdate, {32, 4, 2}, false},
+        {"snapshot 32-8-8", RepairKind::Snapshot, {32, 8, 8}, false},
+        {"backward-walk 32-4-4", RepairKind::BackwardWalk, {32, 4, 4},
+         false},
+        {"limited-4PC", RepairKind::LimitedPc, {32, 4, 4}, false},
+        {"split-BHT", RepairKind::MultiStage, {32, 4, 4}, false},
+        {"forward-walk 32-4-2", RepairKind::ForwardWalk, {32, 4, 2},
+         true},
+        {"perfect", RepairKind::Perfect, {32, 4, 2}, false},
+    };
+
+    TextTable t({"scheme", "IPC", "MPKI", "overrides", "ovr-correct",
+                 "repairs", "denied"});
+    for (const Row &row : rows) {
+        SimConfig cfg = base;
+        cfg.useLocal = true;
+        cfg.repair.kind = row.kind;
+        cfg.repair.ports = row.ports;
+        cfg.repair.coalesce = row.coalesce;
+        const RunResult r = runOne(prog, cfg);
+        t.addRow({row.name, fmtDouble(r.ipc, 3), fmtDouble(r.mpki, 2),
+                  std::to_string(r.overrides),
+                  r.overrides
+                      ? fmtPercent(static_cast<double>(
+                                       r.overridesCorrect) /
+                                       r.overrides, 1)
+                      : "-",
+                  std::to_string(r.repairs),
+                  std::to_string(r.uncheckpointedMispredicts)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}

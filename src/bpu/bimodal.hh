@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Smith-style bimodal predictor: a table of 2-bit saturating counters
+ * indexed by PC. Used standalone in tests/examples and as TAGE's tagless
+ * base component.
+ */
+
+#ifndef LBP_BPU_BIMODAL_HH
+#define LBP_BPU_BIMODAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/set_assoc.hh"
+#include "common/types.hh"
+
+namespace lbp {
+
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned size_log = 12, unsigned ctr_bits = 2)
+        : sizeLog_(size_log), ctrBits_(ctr_bits),
+          table_(1u << size_log, weakNotTaken())
+    {
+        lbp_assert(ctr_bits >= 1 && ctr_bits <= 8);
+    }
+
+    unsigned
+    index(Addr pc) const
+    {
+        return static_cast<unsigned>((pc >> 2) & ((1u << sizeLog_) - 1));
+    }
+
+    bool
+    predict(Addr pc) const
+    {
+        return table_[index(pc)] >= (1u << (ctrBits_ - 1));
+    }
+
+    void
+    update(Addr pc, bool taken)
+    {
+        std::uint8_t &c = table_[index(pc)];
+        if (taken) {
+            if (c < maxCtr())
+                ++c;
+        } else {
+            if (c > 0)
+                --c;
+        }
+    }
+
+    double
+    storageKB() const
+    {
+        return static_cast<double>((1u << sizeLog_) * ctrBits_) / 8192.0;
+    }
+
+  private:
+    std::uint8_t maxCtr() const
+    {
+        return static_cast<std::uint8_t>((1u << ctrBits_) - 1);
+    }
+    std::uint8_t weakNotTaken() const
+    {
+        return static_cast<std::uint8_t>((1u << (ctrBits_ - 1)) - 1);
+    }
+
+    unsigned sizeLog_;
+    unsigned ctrBits_;
+    std::vector<std::uint8_t> table_;
+};
+
+} // namespace lbp
+
+#endif // LBP_BPU_BIMODAL_HH

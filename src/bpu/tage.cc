@@ -1,0 +1,335 @@
+#include "bpu/tage.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace lbp {
+
+// ---------------------------------------------------------------------
+// Configurations
+// ---------------------------------------------------------------------
+
+TageConfig
+TageConfig::kb7()
+{
+    TageConfig cfg;
+    cfg.bimodalLog = 12;  // 4096 x 2b = 1KB
+    cfg.tables = {
+        {9, 7, 5},   {9, 7, 9},   {9, 8, 15},  {9, 8, 25},
+        {9, 9, 44},  {9, 10, 76}, {9, 11, 130},
+    };
+    return cfg;
+}
+
+TageConfig
+TageConfig::kb9()
+{
+    TageConfig cfg;
+    cfg.bimodalLog = 12;  // 4096 x 2b = 1KB
+    // Iso-storage scaling spends the extra ~2KB on history reach (two
+    // longer-history tables) plus one doubled mid table — the spend
+    // that actually buys accuracy when the limiter is how far back a
+    // loop exit signature lies.
+    cfg.tables = {
+        {9, 7, 5},   {9, 7, 9},    {9, 8, 15},   {10, 8, 25},
+        {9, 9, 44},  {9, 10, 76},  {9, 11, 130}, {9, 12, 220},
+        {9, 12, 380},
+    };
+    return cfg;
+}
+
+TageConfig
+TageConfig::kb57()
+{
+    TageConfig cfg;
+    cfg.bimodalLog = 14;  // 16384 x 2b = 4KB
+    cfg.tables = {
+        {11, 8, 4},    {11, 9, 6},    {11, 9, 10},   {11, 10, 16},
+        {11, 10, 25},  {11, 11, 40},  {11, 11, 64},  {11, 12, 101},
+        {11, 12, 160}, {11, 13, 254}, {11, 13, 403}, {11, 14, 640},
+    };
+    return cfg;
+}
+
+double
+TageConfig::storageKB() const
+{
+    double bits = static_cast<double>((1u << bimodalLog) * 2);
+    for (const auto &t : tables)
+        bits += static_cast<double>(1u << t.sizeLog) *
+                (t.tagBits + ctrBits + uBits);
+    return bits / 8192.0;
+}
+
+// ---------------------------------------------------------------------
+// Folded history
+// ---------------------------------------------------------------------
+
+void
+TagePredictor::Folded::init(unsigned orig_len, unsigned comp_len)
+{
+    lbp_assert(comp_len >= 1 && comp_len <= 16);
+    comp = 0;
+    origLen = orig_len;
+    compLen = comp_len;
+    outPoint = orig_len % comp_len;
+}
+
+void
+TagePredictor::Folded::update(bool new_bit, bool old_bit)
+{
+    comp = (comp << 1) | (new_bit ? 1u : 0u);
+    comp ^= (old_bit ? 1u : 0u) << outPoint;
+    comp ^= comp >> compLen;
+    comp &= (1u << compLen) - 1;
+}
+
+// ---------------------------------------------------------------------
+// TagePredictor
+// ---------------------------------------------------------------------
+
+TagePredictor::TagePredictor(TageConfig cfg)
+    : cfg_(std::move(cfg)),
+      numTables_(static_cast<unsigned>(cfg_.tables.size())),
+      maxHist_(0), bimodal_(cfg_.bimodalLog, 2),
+      ghistRing_(1u << ghistRingLog, 0)
+{
+    lbp_assert(numTables_ >= 1 && numTables_ <= tageMaxTables);
+    tables_.resize(numTables_);
+    for (unsigned t = 0; t < numTables_; ++t) {
+        const auto &tc = cfg_.tables[t];
+        lbp_assert(tc.sizeLog >= 4 && tc.sizeLog <= 16);
+        lbp_assert(tc.tagBits >= 4 && tc.tagBits <= 15);
+        tables_[t].assign(1u << tc.sizeLog, TageEntry{});
+        maxHist_ = std::max(maxHist_, tc.histLen);
+        foldedIdx_[t].init(tc.histLen, tc.sizeLog);
+        foldedTagA_[t].init(tc.histLen, tc.tagBits);
+        foldedTagB_[t].init(tc.histLen,
+                            tc.tagBits > 1 ? tc.tagBits - 1 : 1);
+    }
+    lbp_assert(maxHist_ < (1u << ghistRingLog) / 2);
+}
+
+bool
+TagePredictor::ghistAt(unsigned dist) const
+{
+    // dist 0 = most recently pushed bit.
+    const std::uint64_t pos = ghistHead_ - dist;
+    return ghistRing_[pos & ((1u << ghistRingLog) - 1)] != 0;
+}
+
+unsigned
+TagePredictor::tableIndex(unsigned t, Addr pc) const
+{
+    const auto &tc = cfg_.tables[t];
+    const std::uint64_t key = pc >> 2;
+    // Path-history contribution is limited to min(histLen, phistBits)
+    // bits (Seznec's F function): a short-history table must not have
+    // its index perturbed by long-range path context, or it never
+    // converges.
+    const unsigned ph_bits =
+        std::min(tc.histLen, cfg_.phistBits);
+    const unsigned ph =
+        static_cast<unsigned>(phist_) & ((1u << ph_bits) - 1);
+    const unsigned phist_fold =
+        (ph ^ (ph >> tc.sizeLog)) & ((1u << tc.sizeLog) - 1);
+    std::uint64_t idx = key ^ (key >> (tc.sizeLog - (t % 4))) ^
+                        foldedIdx_[t].comp ^ phist_fold;
+    return static_cast<unsigned>(idx & ((1u << tc.sizeLog) - 1));
+}
+
+std::uint16_t
+TagePredictor::tableTag(unsigned t, Addr pc) const
+{
+    const auto &tc = cfg_.tables[t];
+    const std::uint64_t key = pc >> 2;
+    std::uint64_t tag = key ^ foldedTagA_[t].comp ^
+                        (static_cast<std::uint64_t>(foldedTagB_[t].comp)
+                         << 1);
+    return static_cast<std::uint16_t>(tag & ((1u << tc.tagBits) - 1));
+}
+
+bool
+TagePredictor::predict(Addr pc, TagePred &out)
+{
+    out = TagePred{};
+    out.bimodalPred = bimodal_.predict(pc);
+
+    int provider = -1;
+    int alt_provider = -1;
+    for (unsigned t = 0; t < numTables_; ++t) {
+        out.indices[t] = static_cast<std::uint16_t>(tableIndex(t, pc));
+        out.tags[t] = tableTag(t, pc);
+        const TageEntry &e = tables_[t][out.indices[t]];
+        if (e.tag == out.tags[t]) {
+            // Longest-history tag hit wins; the previous hit becomes
+            // the alternate provider. Pure tag match, as in hardware:
+            // cold aliases just read as weak entries.
+            alt_provider = provider;
+            provider = static_cast<int>(t);
+        }
+    }
+
+    out.provider = static_cast<std::int8_t>(provider);
+    out.altProvider = static_cast<std::int8_t>(alt_provider);
+
+    const bool alt_dir =
+        alt_provider >= 0
+            ? tables_[alt_provider][out.indices[alt_provider]].ctr >= 0
+            : out.bimodalPred;
+    out.altPred = alt_dir;
+
+    if (provider < 0) {
+        out.pred = out.bimodalPred;
+        return out.pred;
+    }
+
+    const TageEntry &pe = tables_[provider][out.indices[provider]];
+    const bool provider_dir = pe.ctr >= 0;
+    out.providerWeak = (pe.ctr == 0 || pe.ctr == -1);
+
+    // Newly-allocated entries (weak counter, no proven usefulness) may
+    // be overridden by the alternate prediction when the use-alt
+    // counter says new entries have been unreliable.
+    const bool newly_alloc = out.providerWeak && pe.u == 0;
+    if (newly_alloc && useAltOnNa_.value() >= 0 &&
+        alt_dir != provider_dir) {
+        out.usedAlt = true;
+        out.pred = alt_dir;
+    } else {
+        out.pred = provider_dir;
+    }
+    return out.pred;
+}
+
+void
+TagePredictor::specUpdateHist(Addr pc, bool taken)
+{
+    const bool new_bit = taken;
+    ++ghistHead_;
+    ghistRing_[ghistHead_ & ((1u << ghistRingLog) - 1)] = new_bit ? 1 : 0;
+    for (unsigned t = 0; t < numTables_; ++t) {
+        const unsigned len = cfg_.tables[t].histLen;
+        // The bit that just fell out of this table's window.
+        const bool old_bit = ghistAt(len);
+        foldedIdx_[t].update(new_bit, old_bit);
+        foldedTagA_[t].update(new_bit, old_bit);
+        foldedTagB_[t].update(new_bit, old_bit);
+    }
+    phist_ = ((phist_ << 1) |
+              static_cast<std::uint32_t>((pc >> 2) & 1)) &
+             ((1u << cfg_.phistBits) - 1);
+}
+
+TageCheckpoint
+TagePredictor::checkpoint() const
+{
+    TageCheckpoint ckpt;
+    ckpt.ghistHead = ghistHead_;
+    ckpt.phist = phist_;
+    for (unsigned t = 0; t < numTables_; ++t) {
+        ckpt.folded[t][0] = static_cast<std::uint16_t>(foldedIdx_[t].comp);
+        ckpt.folded[t][1] =
+            static_cast<std::uint16_t>(foldedTagA_[t].comp);
+        ckpt.folded[t][2] =
+            static_cast<std::uint16_t>(foldedTagB_[t].comp);
+    }
+    return ckpt;
+}
+
+void
+TagePredictor::restore(const TageCheckpoint &ckpt)
+{
+    // The ring still holds all bits older than the checkpoint head as
+    // long as fewer than ringSize - maxHist pushes happened since the
+    // checkpoint was taken; in-flight windows are far smaller.
+    lbp_assert(ghistHead_ - ckpt.ghistHead <
+               (1u << ghistRingLog) - maxHist_);
+    ghistHead_ = ckpt.ghistHead;
+    phist_ = ckpt.phist;
+    for (unsigned t = 0; t < numTables_; ++t) {
+        foldedIdx_[t].comp = ckpt.folded[t][0];
+        foldedTagA_[t].comp = ckpt.folded[t][1];
+        foldedTagB_[t].comp = ckpt.folded[t][2];
+    }
+}
+
+void
+TagePredictor::train(Addr pc, bool actual, const TagePred &pred)
+{
+    ++trainCount_;
+
+    // Periodic graceful usefulness aging.
+    if ((trainCount_ & (uResetPeriod_ - 1)) == 0) {
+        for (auto &table : tables_)
+            for (auto &e : table)
+                e.u >>= 1;
+    }
+
+    const bool mispredicted = pred.pred != actual;
+
+    if (pred.provider >= 0) {
+        TageEntry &pe = tables_[pred.provider][pred.indices[pred.provider]];
+        const bool provider_dir = pe.ctr >= 0;
+
+        // Train the use-alt chooser on newly-allocated providers whose
+        // prediction differed from the alternate.
+        const bool newly_alloc =
+            (pe.ctr == 0 || pe.ctr == -1) && pe.u == 0;
+        if (newly_alloc && provider_dir != pred.altPred)
+            useAltOnNa_.update(pred.altPred == actual);
+
+        // Update the provider counter toward the outcome.
+        if (actual) {
+            if (pe.ctr < ctrMax())
+                ++pe.ctr;
+        } else {
+            if (pe.ctr > ctrMin())
+                --pe.ctr;
+        }
+
+        // Usefulness: provider proved better/worse than the alternate.
+        if (provider_dir != pred.altPred) {
+            if (provider_dir == actual) {
+                if (pe.u < ((1u << cfg_.uBits) - 1))
+                    ++pe.u;
+            } else {
+                if (pe.u > 0)
+                    --pe.u;
+            }
+        }
+    } else {
+        bimodal_.update(pc, actual);
+    }
+
+    // Allocate a longer-history entry on misprediction.
+    if (mispredicted &&
+        pred.provider < static_cast<int>(numTables_) - 1) {
+        const unsigned start = static_cast<unsigned>(pred.provider + 1);
+        // Random skip declusters allocations (Seznec).
+        lfsr_ = splitmix64(lfsr_);
+        unsigned first = start + static_cast<unsigned>(lfsr_ & 1);
+        if (first >= numTables_)
+            first = start;
+
+        bool allocated = false;
+        for (unsigned t = first; t < numTables_; ++t) {
+            TageEntry &e = tables_[t][pred.indices[t]];
+            if (e.u == 0) {
+                e.tag = pred.tags[t];
+                e.ctr = actual ? 0 : -1;
+                allocated = true;
+                break;
+            }
+        }
+        if (!allocated) {
+            for (unsigned t = start; t < numTables_; ++t) {
+                TageEntry &e = tables_[t][pred.indices[t]];
+                if (e.u > 0)
+                    --e.u;
+            }
+        }
+    }
+}
+
+} // namespace lbp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * TAGE: a tagless bimodal base plus partially-tagged tables indexed with
+ * geometrically-increasing global history lengths (Seznec & Michaud).
+ *
+ * The implementation keeps the speculative global state — direction
+ * history (GHIST), path history (PHIST) and per-table folded histories —
+ * checkpointable per prediction, mirroring the paper's observation that
+ * global-predictor repair is O(1): every in-flight branch carries its
+ * pre-update state and a flush restores the registers directly
+ * (section 2.3.1).
+ *
+ * Training happens at retirement using the table indices/tags computed
+ * at prediction time (stored in the in-flight TagePred record), so
+ * restores never invalidate pending updates.
+ */
+
+#ifndef LBP_BPU_TAGE_HH
+#define LBP_BPU_TAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bpu/bimodal.hh"
+#include "common/sat_counter.hh"
+#include "common/types.hh"
+
+namespace lbp {
+
+/** Compile-time cap on tagged tables (config may use fewer). */
+constexpr unsigned tageMaxTables = 16;
+
+/** Geometry of one tagged table. */
+struct TageTableConfig
+{
+    unsigned sizeLog = 9;   ///< log2(entries)
+    unsigned tagBits = 8;
+    unsigned histLen = 8;   ///< global history length used for indexing
+};
+
+/** Full TAGE geometry. */
+struct TageConfig
+{
+    unsigned bimodalLog = 12;
+    unsigned ctrBits = 3;
+    unsigned uBits = 2;
+    unsigned phistBits = 16;
+    std::vector<TageTableConfig> tables;
+
+    /** ~7.1KB configuration matching the paper's baseline (Table 2). */
+    static TageConfig kb7();
+
+    /** Iso-storage scaled baseline for Fig 14A (~9KB). */
+    static TageConfig kb9();
+
+    /** Large configuration from the CBP 64KB category for Fig 14B. */
+    static TageConfig kb57();
+
+    /** Total storage in kilobytes (tables + bimodal). */
+    double storageKB() const;
+};
+
+/** Per-prediction record carried by each in-flight conditional branch. */
+struct TagePred
+{
+    bool pred = false;          ///< final TAGE direction
+    bool altPred = false;       ///< alternate prediction
+    bool bimodalPred = false;
+    std::int8_t provider = -1;     ///< providing table, -1 = bimodal
+    std::int8_t altProvider = -1;  ///< alt providing table, -1 = bimodal
+    bool providerWeak = false;     ///< provider counter near midpoint
+    bool usedAlt = false;          ///< alt chosen over a weak new entry
+    std::array<std::uint16_t, tageMaxTables> indices{};
+    std::array<std::uint16_t, tageMaxTables> tags{};
+};
+
+/** Checkpoint of the speculative global state (O(1) restore). */
+struct TageCheckpoint
+{
+    std::uint64_t ghistHead = 0;
+    std::uint32_t phist = 0;
+    std::array<std::array<std::uint16_t, 3>, tageMaxTables> folded{};
+};
+
+/**
+ * The TAGE conditional branch predictor.
+ */
+class TagePredictor
+{
+  public:
+    explicit TagePredictor(TageConfig cfg = TageConfig::kb7());
+
+    /** Predict the direction of @p pc; fills the in-flight record. */
+    bool predict(Addr pc, TagePred &out);
+
+    /**
+     * Speculative history push at prediction time. Conditional branches
+     * push their (predicted) direction; unconditional transfers push a
+     * constant taken bit so path context stays branch-count aligned.
+     */
+    void specUpdateHist(Addr pc, bool taken);
+
+    /** Capture the speculative global state before a history push. */
+    TageCheckpoint checkpoint() const;
+
+    /** Restore the speculative global state (misprediction flush). */
+    void restore(const TageCheckpoint &ckpt);
+
+    /** Retirement-time training with the architectural outcome. */
+    void train(Addr pc, bool actual, const TagePred &pred);
+
+    const TageConfig &config() const { return cfg_; }
+    double storageKB() const { return cfg_.storageKB(); }
+
+    /** Longest history length in use (test/inspection helper). */
+    unsigned maxHistLen() const { return maxHist_; }
+
+  private:
+    struct TageEntry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t ctr = 0;     ///< signed; >= 0 predicts taken
+        std::uint8_t u = 0;      ///< usefulness
+    };
+
+    /** Folded (compressed) history register for one table purpose. */
+    struct Folded
+    {
+        std::uint32_t comp = 0;
+        unsigned compLen = 1;
+        unsigned origLen = 1;
+        unsigned outPoint = 0;
+
+        void init(unsigned orig_len, unsigned comp_len);
+        void update(bool new_bit, bool old_bit);
+    };
+
+    unsigned tableIndex(unsigned t, Addr pc) const;
+    std::uint16_t tableTag(unsigned t, Addr pc) const;
+    bool ghistAt(unsigned dist) const;
+    int ctrMax() const { return (1 << (cfg_.ctrBits - 1)) - 1; }
+    int ctrMin() const { return -(1 << (cfg_.ctrBits - 1)); }
+
+    TageConfig cfg_;
+    unsigned numTables_;
+    unsigned maxHist_;
+
+    BimodalPredictor bimodal_;
+    std::vector<std::vector<TageEntry>> tables_;
+
+    // Speculative global state.
+    static constexpr unsigned ghistRingLog = 12;
+    std::vector<std::uint8_t> ghistRing_;
+    std::uint64_t ghistHead_ = 0;
+    std::uint32_t phist_ = 0;
+    std::array<Folded, tageMaxTables> foldedIdx_;
+    std::array<Folded, tageMaxTables> foldedTagA_;
+    std::array<Folded, tageMaxTables> foldedTagB_;
+
+    // Training-side state.
+    SignedSatCounter useAltOnNa_{4, 0};
+    std::uint64_t lfsr_ = 0x123456789ull;
+    std::uint64_t trainCount_ = 0;
+    std::uint64_t uResetPeriod_ = 1ull << 18;
+};
+
+} // namespace lbp
+
+#endif // LBP_BPU_TAGE_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Status and error reporting helpers, following the gem5 conventions:
+ * panic() for internal invariant violations (simulator bugs), fatal() for
+ * user/configuration errors, warn()/inform() for non-fatal notices.
+ */
+
+#ifndef LBP_COMMON_LOGGING_HH
+#define LBP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lbp {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg, file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg, file, line);
+    std::exit(1);
+}
+
+inline void
+warnImpl(const char *msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg);
+}
+
+inline void
+informImpl(const char *msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg);
+}
+
+} // namespace lbp
+
+/** Abort on a condition that indicates a simulator bug. */
+#define lbp_panic(msg) ::lbp::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Exit on a condition that indicates a user/configuration error. */
+#define lbp_fatal(msg) ::lbp::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define lbp_assert(cond)                                                     \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::lbp::panicImpl(__FILE__, __LINE__,                             \
+                             "assertion failed: " #cond);                    \
+    } while (0)
+
+#endif // LBP_COMMON_LOGGING_HH

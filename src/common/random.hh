@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * Two generators are provided:
+ *  - SplitMix64: a stateless mixing function, used to derive per-object
+ *    seeds and to compute hash-like deterministic properties (instruction
+ *    classes, dependency distances) from structural identifiers.
+ *  - Xoshiro256ss: a fast sequential generator used where a stream of
+ *    random values is needed (workload construction).
+ *
+ * All simulation randomness flows through these so runs are reproducible
+ * from a single seed.
+ */
+
+#ifndef LBP_COMMON_RANDOM_HH
+#define LBP_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace lbp {
+
+/** One step of the SplitMix64 mixing function. */
+inline std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Mix two identifiers into one well-distributed 64-bit value. */
+inline std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return splitmix64(a ^ splitmix64(b));
+}
+
+/**
+ * xoshiro256** generator (Blackman & Vigna). Fast, high quality, and
+ * trivially seedable from a single 64-bit value via SplitMix64.
+ */
+class Xoshiro256ss
+{
+  public:
+    explicit Xoshiro256ss(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialize the state from a single seed value. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x = splitmix64(x);
+            word = x;
+        }
+        // The all-zero state is invalid; SplitMix64 of any seed avoids it,
+        // but guard anyway.
+        if (!(state_[0] | state_[1] | state_[2] | state_[3]))
+            state_[0] = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        lbp_assert(bound > 0);
+        // Multiply-shift range reduction; bias is negligible for our use.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        lbp_assert(hi >= lo);
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Real value uniform in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+/**
+ * A tiny 16-bit Galois LFSR used as per-branch architectural random state
+ * inside workload behaviour models. It lives in a single state word so the
+ * executor can fork (checkpoint) it by value.
+ */
+class Lfsr16
+{
+  public:
+    /** Advance the LFSR stored in @p state and return the new value. */
+    static std::uint16_t
+    step(std::uint64_t &state)
+    {
+        auto lfsr = static_cast<std::uint16_t>(state ? state : 0xACE1u);
+        const std::uint16_t lsb = lfsr & 1u;
+        lfsr >>= 1;
+        if (lsb)
+            lfsr ^= 0xB400u;
+        state = lfsr;
+        return lfsr;
+    }
+};
+
+} // namespace lbp
+
+#endif // LBP_COMMON_RANDOM_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * A generic set-associative table with true-LRU replacement.
+ *
+ * Used for the loop predictor's BHT and PT, the BTB, and the cache tag
+ * arrays. The payload type is supplied by the user; valid bit, tag and
+ * LRU ordering are managed here.
+ */
+
+#ifndef LBP_COMMON_SET_ASSOC_HH
+#define LBP_COMMON_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lbp {
+
+/** True when x is a power of two (and non-zero). */
+inline bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+inline unsigned
+floorLog2(std::uint64_t x)
+{
+    lbp_assert(x > 0);
+    unsigned l = 0;
+    while (x >>= 1)
+        ++l;
+    return l;
+}
+
+/**
+ * Set-associative table of user payloads.
+ *
+ * @tparam PayloadT  Default-constructible per-entry payload.
+ */
+template <typename PayloadT>
+class SetAssocTable
+{
+  public:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint32_t lruStamp = 0;
+        PayloadT data{};
+    };
+
+    SetAssocTable(unsigned num_sets, unsigned num_ways)
+        : numSets_(num_sets), numWays_(num_ways), stamp_(0),
+          ways_(static_cast<std::size_t>(num_sets) * num_ways)
+    {
+        lbp_assert(num_sets >= 1 && num_ways >= 1);
+        lbp_assert(isPowerOf2(num_sets));
+    }
+
+    unsigned numSets() const { return numSets_; }
+    unsigned numWays() const { return numWays_; }
+    unsigned numEntries() const { return numSets_ * numWays_; }
+
+    /** Compute the set index for a pre-hashed key. */
+    unsigned setIndex(std::uint64_t key) const { return key & (numSets_ - 1); }
+
+    /** Tag bits for a pre-hashed key (the part above the index). */
+    std::uint64_t tagOf(std::uint64_t key) const { return key >> setBits(); }
+
+    /**
+     * Look up a key. Returns the way or nullptr on miss.
+     * Updates LRU on hit when @p touch is true.
+     */
+    Way *
+    lookup(std::uint64_t key, bool touch = true)
+    {
+        const unsigned set = setIndex(key);
+        const std::uint64_t tag = tagOf(key);
+        for (unsigned w = 0; w < numWays_; ++w) {
+            Way &way = at(set, w);
+            if (way.valid && way.tag == tag) {
+                if (touch)
+                    way.lruStamp = ++stamp_;
+                return &way;
+            }
+        }
+        return nullptr;
+    }
+
+    const Way *
+    lookup(std::uint64_t key) const
+    {
+        return const_cast<SetAssocTable *>(this)->lookup(key, false);
+    }
+
+    /**
+     * Insert a key, evicting the LRU way of its set if needed.
+     * The returned way has valid/tag set; payload is caller's to fill.
+     * @param victimized set to true when a valid entry was evicted.
+     */
+    Way &
+    insert(std::uint64_t key, bool *victimized = nullptr)
+    {
+        const unsigned set = setIndex(key);
+        Way *victim = &at(set, 0);
+        for (unsigned w = 0; w < numWays_; ++w) {
+            Way &way = at(set, w);
+            if (!way.valid) {
+                victim = &way;
+                break;
+            }
+            if (way.lruStamp < victim->lruStamp)
+                victim = &way;
+        }
+        if (victimized)
+            *victimized = victim->valid;
+        victim->valid = true;
+        victim->tag = tagOf(key);
+        victim->lruStamp = ++stamp_;
+        victim->data = PayloadT{};
+        return *victim;
+    }
+
+    /** Invalidate a key if present. */
+    void
+    invalidate(std::uint64_t key)
+    {
+        if (Way *way = lookup(key, false))
+            way->valid = false;
+    }
+
+    /** Invalidate every entry. */
+    void
+    invalidateAll()
+    {
+        for (auto &way : ways_)
+            way.valid = false;
+    }
+
+    /** Raw access to way storage, for snapshot/restore and iteration. */
+    std::vector<Way> &raw() { return ways_; }
+    const std::vector<Way> &raw() const { return ways_; }
+
+    /** Direct access to a (set, way) slot. */
+    Way &
+    at(unsigned set, unsigned way)
+    {
+        return ways_[static_cast<std::size_t>(set) * numWays_ + way];
+    }
+
+    const Way &
+    at(unsigned set, unsigned way) const
+    {
+        return ways_[static_cast<std::size_t>(set) * numWays_ + way];
+    }
+
+    unsigned setBits() const { return floorLog2(numSets_); }
+
+  private:
+    unsigned numSets_;
+    unsigned numWays_;
+    std::uint32_t stamp_;
+    std::vector<Way> ways_;
+};
+
+} // namespace lbp
+
+#endif // LBP_COMMON_SET_ASSOC_HH

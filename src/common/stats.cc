@@ -1,0 +1,91 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace lbp {
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        lbp_assert(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    lbp_assert(row.size() == rows_.front().size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    const std::size_t cols = rows_.front().size();
+    std::vector<std::size_t> widths(cols, 0);
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < cols; ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            const std::string &cell = rows_[r][c];
+            out += cell;
+            if (c + 1 < cols)
+                out.append(widths[c] - cell.size() + 2, ' ');
+        }
+        out += '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < cols; ++c)
+                total += widths[c] + (c + 1 < cols ? 2 : 0);
+            out.append(total, '-');
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+} // namespace lbp

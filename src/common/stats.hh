@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lightweight statistics primitives and a text table formatter used by the
+ * benchmark harnesses to print paper-style result tables.
+ */
+
+#ifndef LBP_COMMON_STATS_HH
+#define LBP_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lbp {
+
+/**
+ * Running distribution summary: count, sum, min, max and mean, plus
+ * power-of-two bucket counts for shape inspection.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(std::uint64_t v)
+    {
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+        unsigned b = 0;
+        while ((1ull << b) < v && b + 1 < numBuckets)
+            ++b;
+        ++buckets_[b];
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Count of samples v with 2^(b-1) < v <= 2^b (bucket 0: v <= 1). */
+    std::uint64_t bucket(unsigned b) const { return buckets_[b]; }
+
+    void
+    reset()
+    {
+        count_ = sum_ = 0;
+        min_ = std::numeric_limits<std::uint64_t>::max();
+        max_ = 0;
+        for (auto &b : buckets_)
+            b = 0;
+    }
+
+    static constexpr unsigned numBuckets = 16;
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+    std::uint64_t buckets_[numBuckets] = {};
+};
+
+/** Geometric mean of a list of strictly positive ratios. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty list. */
+double mean(const std::vector<double> &values);
+
+/** Format a double with the given precision into a std::string. */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Format a percentage (0.031 -> "3.10%"). */
+std::string fmtPercent(double fraction, int precision = 2);
+
+/**
+ * Fixed-width text table builder. Benches use this to print rows shaped
+ * like the paper's tables and figure series.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lbp
+
+#endif // LBP_COMMON_STATS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A simple multi-level cache hierarchy latency model: set-associative
+ * LRU tag arrays with next-line prefetch, chained L1 -> L2 -> LLC ->
+ * DRAM. Misses are non-blocking with unlimited MSHRs (each access pays
+ * its own latency; the dataflow scheduler overlaps them), which is the
+ * standard fast-model simplification.
+ */
+
+#ifndef LBP_CORE_CACHE_HH
+#define LBP_CORE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/set_assoc.hh"
+#include "common/types.hh"
+
+namespace lbp {
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    unsigned sizeKB = 32;
+    unsigned ways = 8;
+    unsigned lineBytes = 64;
+    unsigned latency = 5;       ///< hit latency, cycles
+    bool nextLinePrefetch = true;
+};
+
+/** One cache level. */
+class Cache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t prefetchFills = 0;
+    };
+
+    Cache(const CacheConfig &cfg, Cache *next, unsigned mem_latency);
+
+    /**
+     * Access @p addr; returns total latency including lower levels on a
+     * miss, and fills the line (plus the next line when prefetching).
+     */
+    unsigned access(Addr addr);
+
+    /** Fill without demand-latency accounting (prefetch path). */
+    void prefetchFill(Addr addr);
+
+    /** True when the line is present (no LRU update). */
+    bool probe(Addr addr) const;
+
+    const Stats &stats() const { return stats_; }
+    const CacheConfig &config() const { return cfg_; }
+
+  private:
+    struct Line
+    {
+    };
+
+    std::uint64_t lineKey(Addr addr) const
+    {
+        return addr / cfg_.lineBytes;
+    }
+
+    CacheConfig cfg_;
+    Cache *next_;
+    unsigned memLatency_;
+    SetAssocTable<Line> tags_;
+    Stats stats_;
+};
+
+/** Table 2's three-level hierarchy plus DRAM. */
+struct MemoryHierarchyConfig
+{
+    CacheConfig l1i{"l1i", 32, 8, 64, 5, true};
+    CacheConfig l1d{"l1d", 32, 8, 64, 5, true};
+    CacheConfig l2{"l2", 256, 8, 64, 15, true};
+    CacheConfig llc{"llc", 8192, 16, 64, 40, true};
+    unsigned memLatency = 220;  ///< DDR4-2133 round trip at 3.2 GHz
+};
+
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(
+        const MemoryHierarchyConfig &cfg = MemoryHierarchyConfig{});
+
+    /** Data-side load/store latency. */
+    unsigned dataAccess(Addr addr) { return l1d_.access(addr); }
+
+    /** Instruction-fetch latency. */
+    unsigned fetchAccess(Addr addr) { return l1i_.access(addr); }
+
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    const Cache &llc() const { return llc_; }
+    const MemoryHierarchyConfig &config() const { return cfg_; }
+
+  private:
+    MemoryHierarchyConfig cfg_;
+    Cache llc_;
+    Cache l2_;
+    Cache l1i_;
+    Cache l1d_;
+};
+
+} // namespace lbp
+
+#endif // LBP_CORE_CACHE_HH

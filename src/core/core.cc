@@ -1,0 +1,555 @@
+#include "core/core.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace lbp {
+
+CoreStats
+CoreStats::delta(const CoreStats &a, const CoreStats &b)
+{
+    CoreStats d;
+    d.cycles = a.cycles - b.cycles;
+    d.retiredInstrs = a.retiredInstrs - b.retiredInstrs;
+    d.retiredCond = a.retiredCond - b.retiredCond;
+    d.mispredicts = a.mispredicts - b.mispredicts;
+    d.earlyResteers = a.earlyResteers - b.earlyResteers;
+    d.wrongPathFetched = a.wrongPathFetched - b.wrongPathFetched;
+    d.btbMisses = a.btbMisses - b.btbMisses;
+    d.fetchedInstrs = a.fetchedInstrs - b.fetchedInstrs;
+    return d;
+}
+
+OooCore::OooCore(const Program &prog, const SimConfig &cfg)
+    : prog_(prog), cfg_(cfg), exec_(prog), mem_(cfg.core.mem),
+      tage_(cfg.tage),
+      btb_(cfg.core.btbEntries / cfg.core.btbWays, cfg.core.btbWays),
+      issueCal_(1u << calLog, 0), loadCal_(1u << calLog, 0),
+      storeCal_(1u << calLog, 0), ring_(ringSize()),
+      trueSeqRing_(1u << trueRingLog, invalidSeq)
+{
+    if (cfg.useLocal)
+        scheme_ = makeRepairScheme(cfg.repair);
+}
+
+OooCore::~OooCore() = default;
+
+void
+OooCore::run(std::uint64_t instructions)
+{
+    const std::uint64_t target = stats_.retiredInstrs + instructions;
+    std::uint64_t last_retired = stats_.retiredInstrs;
+    Cycle last_progress = now_;
+    while (stats_.retiredInstrs < target) {
+        stepCycle();
+        if (stats_.retiredInstrs != last_retired) {
+            last_retired = stats_.retiredInstrs;
+            last_progress = now_;
+        } else if (now_ - last_progress > 100000) {
+            std::fprintf(stderr,
+                         "deadlock: now=%llu rob=%zu fq=%zu lq=%u sq=%u "
+                         "wrongPath=%d stall=%llu pending=%zu replay=%zu\n",
+                         (unsigned long long)now_, rob_.size(),
+                         fetchQueue_.size(), lqOcc_, sqOcc_,
+                         (int)wrongPath_,
+                         (unsigned long long)fetchStallUntil_,
+                         pendingResolve_.size(), replay_.size());
+            if (!rob_.empty()) {
+                const DynInst &h = inst(rob_.front());
+                std::fprintf(stderr,
+                             "rob head seq=%llu done=%llu cls=%d\n",
+                             (unsigned long long)h.seq,
+                             (unsigned long long)h.doneCycle,
+                             (int)h.cls);
+            }
+            if (divergeSeq_ != invalidSeq) {
+                const DynInst &d = inst(divergeSeq_);
+                std::fprintf(stderr,
+                             "diverge seq=%llu slotseq=%llu misp=%d "
+                             "done=%llu fetch=%llu nextSeq=%llu\n",
+                             (unsigned long long)divergeSeq_,
+                             (unsigned long long)d.seq,
+                             (int)d.mispredicted,
+                             (unsigned long long)d.doneCycle,
+                             (unsigned long long)d.fetchCycle,
+                             (unsigned long long)nextSeq_);
+            }
+            lbp_panic("core deadlock: no retirement in 100k cycles");
+        }
+    }
+}
+
+void
+OooCore::stepCycle()
+{
+    ++now_;
+    ++stats_.cycles;
+    // Recycle the calendar slot that just rolled into the window: slot
+    // (now-1) % N now represents cycle now-1+N.
+    const std::size_t slot =
+        static_cast<std::size_t>(now_ - 1) & ((1u << calLog) - 1);
+    issueCal_[slot] = 0;
+    loadCal_[slot] = 0;
+    storeCal_[slot] = 0;
+
+    retireStage();
+    resolveStage();
+    deferStage();
+    allocStage();
+    fetchStage();
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+void
+OooCore::retireStage()
+{
+    unsigned n = 0;
+    while (n < cfg_.core.retireWidth && !rob_.empty()) {
+        DynInst &di = inst(rob_.front());
+        if (di.doneCycle >= now_)
+            break;
+        rob_.pop_front();
+        if (di.cls == InstClass::Load) {
+            lbp_assert(lqOcc_ > 0);
+            --lqOcc_;
+        } else if (di.cls == InstClass::Store) {
+            lbp_assert(sqOcc_ > 0);
+            --sqOcc_;
+        }
+        if (di.isCond()) {
+            ++stats_.retiredCond;
+            if (scheme_)
+                scheme_->atRetire(di);
+            tage_.train(di.pc, di.actualDir, di.br.tage);
+        }
+        ++stats_.retiredInstrs;
+        ++n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resolve (execute-time misprediction flush)
+// ---------------------------------------------------------------------
+
+void
+OooCore::resolveStage()
+{
+    while (!pendingResolve_.empty() &&
+           pendingResolve_.top().first <= now_) {
+        const InstSeq seq = pendingResolve_.top().second;
+        pendingResolve_.pop();
+        DynInst &di = inst(seq);
+        if (di.seq != seq || !di.mispredicted)
+            continue;  // squashed or corrected at alloc
+        doFlush(di);
+    }
+}
+
+void
+OooCore::doFlush(DynInst &br)
+{
+    ++stats_.mispredicts;
+    br.mispredicted = false;
+
+    // Local-predictor repair runs against the pre-squash OBQ contents.
+    if (scheme_) {
+        scheme_->atMispredict(br, now_);
+        scheme_->atSquash(br.seq, br);
+    }
+
+    // O(1) global-state repair: restore the checkpoint taken before
+    // this branch's own history push, then re-push the actual outcome.
+    tage_.restore(br.br.ckpt);
+    tage_.specUpdateHist(br.pc, br.actualDir);
+    br.br.finalPred = br.actualDir;
+
+    // Everything fetched after the branch is wrong-path and lives only
+    // in the fetch queue (wrong-path instructions never allocate).
+    fetchQueue_.clear();
+    deferQueue_.clear();
+    if (!rob_.empty())
+        lbp_assert(inst(rob_.back()).seq <= br.seq);
+
+    wrongPath_ = false;
+    fetchStallUntil_ = std::max(fetchStallUntil_, now_ + 1);
+}
+
+// ---------------------------------------------------------------------
+// Defer stage (alloc-queue entry): the multi-stage scheme's BHT-Defer
+// lives here — a few cycles past fetch, before the allocation queue, so
+// a deferred override resteers cheaply (section 3.2).
+// ---------------------------------------------------------------------
+
+void
+OooCore::deferStage()
+{
+    while (!deferQueue_.empty()) {
+        const InstSeq s = deferQueue_.front();
+        DynInst &di = inst(s);
+        if (di.seq != s) {  // squashed and slot reused
+            deferQueue_.pop_front();
+            continue;
+        }
+        if (di.fetchCycle + cfg_.core.deferDepth > now_)
+            break;
+        deferQueue_.pop_front();
+        if (scheme_) {
+            const auto out = scheme_->atAlloc(di, now_);
+            if (out.resteer)
+                handleEarlyResteer(di, out.dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Alloc
+// ---------------------------------------------------------------------
+
+void
+OooCore::allocStage()
+{
+    unsigned n = 0;
+    while (n < cfg_.core.allocWidth && !fetchQueue_.empty()) {
+        const InstSeq s = fetchQueue_.front();
+        DynInst &di = inst(s);
+        if (di.fetchCycle + cfg_.core.frontEndDepth > now_)
+            break;
+
+        // Wrong-path and true-path instructions alike need a free ROB
+        // slot to allocate — wrong-path work occupies real back-end
+        // resources in hardware, and letting it bypass ROB
+        // backpressure would let fetch churn unboundedly down a wrong
+        // path while a long dependence chain stalls the window.
+        if (rob_.size() >= cfg_.core.robEntries)
+            break;
+
+        if (di.wrongPath) {
+            // Consumes alloc bandwidth, then evaporates (its execution
+            // is never simulated; its predictor side effects happened
+            // at the defer stage).
+            fetchQueue_.pop_front();
+            ++n;
+            continue;
+        }
+        if (di.cls == InstClass::Load && lqOcc_ >= cfg_.core.loadQueue)
+            break;
+        if (di.cls == InstClass::Store && sqOcc_ >= cfg_.core.storeQueue)
+            break;
+
+        fetchQueue_.pop_front();
+        scheduleInst(di);
+        rob_.push_back(s);
+        if (di.cls == InstClass::Load)
+            ++lqOcc_;
+        else if (di.cls == InstClass::Store)
+            ++sqOcc_;
+        ++n;
+    }
+}
+
+void
+OooCore::handleEarlyResteer(DynInst &br, bool new_dir)
+{
+    ++stats_.earlyResteers;
+
+    // Queued instructions younger than the resteering branch vanish;
+    // true-path ones must be re-fetchable afterwards, so stash their
+    // descriptors for replay (the executor cannot rewind).
+    while (!fetchQueue_.empty() &&
+           inst(fetchQueue_.back()).seq > br.seq)
+        fetchQueue_.pop_back();
+    // The popped ones are re-collected in fetch order below.
+    for (InstSeq s = br.seq + 1; s < nextSeq_; ++s) {
+        DynInst &q = inst(s);
+        if (q.seq != s)
+            continue;
+        if (q.wrongPath)
+            continue;
+        Replayed r;
+        r.desc.pc = q.pc;
+        r.desc.cls = q.cls;
+        r.desc.dep1 = q.dep1;
+        r.desc.dep2 = q.dep2;
+        r.desc.branchId = -1;
+        r.desc.taken = q.actualDir;
+        r.desc.memAddr = q.memAddr;
+        r.dynIdx = q.dynIdx;
+        r.cursor = q.fetchCursor;
+        replay_.push_back(r);
+        q.seq = invalidSeq;  // slot retired from circulation
+    }
+    while (!deferQueue_.empty() &&
+           inst(deferQueue_.back()).seq > br.seq)
+        deferQueue_.pop_back();
+
+    // Rewind the speculative global history to this branch and re-push
+    // the new direction.
+    tage_.restore(br.br.ckpt);
+    tage_.specUpdateHist(br.pc, new_dir);
+
+    if (new_dir == br.actualDir) {
+        // The deferred local prediction corrected a wrong fetch-time
+        // direction: rejoin the true path. The executor paused at the
+        // divergence, so fetch simply resumes consuming it (after any
+        // replay backlog, which is empty in this case by construction).
+        br.mispredicted = false;
+        wrongPath_ = false;
+    } else {
+        // The deferred override was wrong: fetch diverges here, and the
+        // branch pays the full misprediction penalty at execute too
+        // (scheduleInst arms the resolve event right after this hook).
+        br.mispredicted = true;
+        wrongPath_ = true;
+        nav_ = br.fetchCursor;
+        cfgAdvance(prog_, nav_, new_dir);
+    }
+    fetchStallUntil_ = std::max(fetchStallUntil_, now_ + 1);
+}
+
+// ---------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------
+
+void
+OooCore::scheduleInst(DynInst &di)
+{
+    Cycle ready = now_ + 1;
+
+    const auto depDone = [&](std::uint8_t dist) -> Cycle {
+        if (!dist || dist > di.dynIdx)
+            return 0;
+        const std::uint64_t p_idx = di.dynIdx - dist;
+        const InstSeq s =
+            trueSeqRing_[p_idx & ((1u << trueRingLog) - 1)];
+        if (s == invalidSeq)
+            return 0;
+        const DynInst &p = inst(s);
+        if (p.seq != s || p.dynIdx != p_idx)
+            return 0;  // stale slot: producer long retired
+        return p.doneCycle;
+    };
+
+    ready = std::max(ready, depDone(di.dep1));
+    ready = std::max(ready, depDone(di.dep2));
+
+    unsigned lat = 1;
+    switch (di.cls) {
+      case InstClass::Mul:
+        lat = cfg_.core.mulLatency;
+        break;
+      case InstClass::FpOp:
+        lat = cfg_.core.fpLatency;
+        break;
+      case InstClass::Load:
+        lat = mem_.dataAccess(di.memAddr);
+        break;
+      case InstClass::Store:
+        // Address/data ready is all retirement needs; the write drains
+        // post-commit and is not modeled.
+        mem_.dataAccess(di.memAddr);
+        lat = 1;
+        break;
+      default:
+        lat = 1;
+        break;
+    }
+
+    // Issue-port contention within the calendar window; dependence-bound
+    // instructions issuing far in the future see no contention.
+    Cycle t = ready;
+    const Cycle horizon = now_ + (1u << calLog) - 64;
+    if (t < horizon) {
+        const unsigned mask = (1u << calLog) - 1;
+        while (t < horizon) {
+            const std::size_t slot = static_cast<std::size_t>(t) & mask;
+            const bool port_free =
+                issueCal_[slot] < cfg_.core.issueWidth &&
+                (di.cls != InstClass::Load ||
+                 loadCal_[slot] < cfg_.core.maxLoadsPerCycle) &&
+                (di.cls != InstClass::Store ||
+                 storeCal_[slot] < cfg_.core.maxStoresPerCycle);
+            if (port_free)
+                break;
+            ++t;
+        }
+        const std::size_t slot = static_cast<std::size_t>(t) & mask;
+        ++issueCal_[slot];
+        if (di.cls == InstClass::Load)
+            ++loadCal_[slot];
+        else if (di.cls == InstClass::Store)
+            ++storeCal_[slot];
+    }
+
+    di.doneCycle = t + lat;
+    di.completed = true;
+
+    if (di.isCond() && di.mispredicted)
+        pendingResolve_.push({di.doneCycle, di.seq});
+}
+
+// ---------------------------------------------------------------------
+// Fetch
+// ---------------------------------------------------------------------
+
+void
+OooCore::fetchStage()
+{
+    if (now_ < fetchStallUntil_)
+        return;
+
+    // Safety net: never let new sequence numbers wrap the instruction
+    // ring over slots that may still be referenced by the ROB or a
+    // pending branch resolution.
+    const InstSeq oldest_live =
+        !rob_.empty() ? inst(rob_.front()).seq
+                      : (!fetchQueue_.empty() ? inst(fetchQueue_.front()).seq
+                                              : nextSeq_);
+    if (nextSeq_ - oldest_live >= ringSize() - 64)
+        return;
+
+    unsigned n = 0;
+    while (n < cfg_.core.fetchWidth &&
+           fetchQueue_.size() < cfg_.core.fetchQueueEntries) {
+        DynInstDesc desc;
+        std::uint64_t dyn_idx = 0;
+        CfgCursor cursor_before{};
+        bool from_executor = false;
+
+        if (!wrongPath_) {
+            if (!replay_.empty()) {
+                const Replayed &r = replay_.front();
+                desc = r.desc;
+                dyn_idx = r.dynIdx;
+                cursor_before = r.cursor;
+                replay_.pop_front();
+            } else {
+                cursor_before = exec_.cursor();
+                desc = exec_.next();
+                dyn_idx = exec_.instCount() - 1;
+                from_executor = true;
+            }
+        } else {
+            cursor_before = nav_;
+            const StaticInst &si = cfgInst(prog_, nav_);
+            desc = DynInstDesc{};
+            desc.pc = si.pc;
+            desc.cls = si.cls;
+            desc.dep1 = si.dep1;
+            desc.dep2 = si.dep2;
+        }
+
+        icacheCheck(desc.pc);
+
+        DynInst &di =
+            makeInst(desc, dyn_idx, cursor_before, wrongPath_);
+
+        bool fetch_break = false;
+        if (di.isCond()) {
+            di.br.ckpt = tage_.checkpoint();
+            const bool tage_dir = tage_.predict(di.pc, di.br.tage);
+            bool final_dir = tage_dir;
+            if (scheme_) {
+                final_dir =
+                    scheme_->atPredict(di, tage_dir, now_).finalDir;
+            } else {
+                di.br.tageDir = tage_dir;
+                di.br.finalPred = tage_dir;
+            }
+            tage_.specUpdateHist(di.pc, final_dir);
+
+            if (!di.wrongPath) {
+                if (scheme_ && from_executor)
+                    scheme_->atTruePathFetch(di);
+                di.mispredicted = final_dir != di.actualDir;
+                if (di.mispredicted) {
+                    // Fetch sails on down the wrong edge.
+                    wrongPath_ = true;
+                    divergeSeq_ = di.seq;
+                    nav_ = cursor_before;
+                    cfgAdvance(prog_, nav_, final_dir);
+                }
+            } else {
+                cfgAdvance(prog_, nav_, final_dir);
+            }
+
+            if (final_dir) {
+                btbCheck(di.pc);
+                fetch_break = true;  // taken branch ends the group
+            }
+        } else if (di.cls == InstClass::Jump) {
+            tage_.specUpdateHist(di.pc, true);
+            if (di.wrongPath)
+                cfgAdvance(prog_, nav_, true);
+            btbCheck(di.pc);
+            fetch_break = true;
+        } else {
+            if (di.wrongPath)
+                cfgAdvance(prog_, nav_, false);
+        }
+
+        fetchQueue_.push_back(di.seq);
+        if (di.isCond() && scheme_)
+            deferQueue_.push_back(di.seq);
+        ++n;
+        if (fetch_break || now_ < fetchStallUntil_)
+            break;
+    }
+}
+
+void
+OooCore::btbCheck(Addr pc)
+{
+    if (!btb_.lookup(pc >> 2)) {
+        ++stats_.btbMisses;
+        btb_.insert(pc >> 2);
+        fetchStallUntil_ =
+            std::max(fetchStallUntil_, now_ + cfg_.core.btbMissPenalty);
+    }
+}
+
+void
+OooCore::icacheCheck(Addr pc)
+{
+    const Addr line = pc & ~static_cast<Addr>(63);
+    if (line == lastFetchLine_)
+        return;
+    lastFetchLine_ = line;
+    const unsigned lat = mem_.fetchAccess(pc);
+    const unsigned l1_lat = cfg_.core.mem.l1i.latency;
+    if (lat > l1_lat) {
+        fetchStallUntil_ =
+            std::max(fetchStallUntil_, now_ + (lat - l1_lat));
+    }
+}
+
+DynInst &
+OooCore::makeInst(const DynInstDesc &desc, std::uint64_t dyn_idx,
+                  const CfgCursor &cursor, bool wrong_path)
+{
+    const InstSeq seq = nextSeq_++;
+    DynInst &di = inst(seq);
+    di = DynInst{};
+    di.seq = seq;
+    di.pc = desc.pc;
+    di.cls = desc.cls;
+    di.dep1 = desc.dep1;
+    di.dep2 = desc.dep2;
+    di.wrongPath = wrong_path;
+    di.actualDir = desc.taken;
+    di.memAddr = desc.memAddr;
+    di.dynIdx = dyn_idx;
+    di.fetchCursor = cursor;
+    di.fetchCycle = now_;
+    if (!wrong_path)
+        trueSeqRing_[dyn_idx & ((1u << trueRingLog) - 1)] = seq;
+    ++stats_.fetchedInstrs;
+    if (wrong_path)
+        ++stats_.wrongPathFetched;
+    return di;
+}
+
+} // namespace lbp

@@ -1,0 +1,78 @@
+#include "repair/obq.hh"
+
+#include "common/logging.hh"
+
+namespace lbp {
+
+Obq::Obq(unsigned capacity, bool coalesce)
+    : capacity_(capacity), coalesce_(coalesce), ring_(capacity)
+{
+    lbp_assert(capacity >= 2);
+}
+
+std::uint64_t
+Obq::push(Addr pc, LocalState pre_state, InstSeq seq, bool *merged)
+{
+    *merged = false;
+    if (coalesce_ && size() >= 2 && slot(tail_ - 1).pc == pc &&
+        slot(tail_ - 2).pc == pc) {
+        // Third-or-later consecutive instance of the same PC: overwrite
+        // the "last instance" entry and share its id. The first
+        // instance's entry (tail-2) stays intact for walks that start
+        // older than the run.
+        Entry &last = slot(tail_ - 1);
+        last.preState = pre_state;
+        last.lastSeq = seq;
+        ++merges_;
+        *merged = true;
+        return tail_ - 1;
+    }
+
+    if (full()) {
+        ++overflows_;
+        return invalidId;
+    }
+
+    Entry &e = slot(tail_);
+    e.pc = pc;
+    e.preState = pre_state;
+    e.firstSeq = seq;
+    e.lastSeq = seq;
+    return tail_++;
+}
+
+const Obq::Entry &
+Obq::at(std::uint64_t id) const
+{
+    lbp_assert(id >= head_ && id < tail_);
+    return slot(id);
+}
+
+void
+Obq::squashYoungerThan(InstSeq seq, Addr survivor_pc,
+                       LocalState survivor_state)
+{
+    while (tail_ > head_ && slot(tail_ - 1).firstSeq > seq)
+        --tail_;
+    if (tail_ > head_) {
+        Entry &e = slot(tail_ - 1);
+        if (e.lastSeq > seq) {
+            // Coalesced entry whose younger merged instances were
+            // squashed: trim it back to the surviving instruction.
+            e.lastSeq = seq;
+            if (e.pc == survivor_pc)
+                e.preState = survivor_state;
+        }
+    }
+}
+
+void
+Obq::retireUpTo(std::uint64_t, InstSeq seq)
+{
+    // lastSeq is monotonic across live entries (coalescing only ever
+    // extends the current tail entry), so head eviction is a scan.
+    while (head_ < tail_ && slot(head_).lastSeq <= seq)
+        ++head_;
+}
+
+} // namespace lbp

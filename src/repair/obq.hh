@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Outstanding Branch Queue (OBQ): the history file that backs the
+ * walk-based repair schemes (sections 2.6 and 3.1).
+ *
+ * A circular buffer of (PC, pre-update BHT state) records, one per
+ * checkpointed prediction, appended at the tail and drained from the
+ * head as branches retire. On a misprediction the scheme walks the
+ * entries between the mispredicting branch and the tail — backwards
+ * (youngest first, Skadron-style) or forwards (mispredict first, the
+ * paper's technique) — to restore the BHT.
+ *
+ * Entry ids are monotonic positions; id -> slot is id % capacity, which
+ * makes rollback (squash of younger entries) and retirement eviction a
+ * matter of moving the head/tail cursors.
+ *
+ * The coalescing optimization of section 3.1 merges consecutive
+ * same-PC checkpoints: the first and last instance keep separate
+ * entries; intermediate instances share the last entry's id and rely on
+ * the state carried with the instruction for self-repair.
+ */
+
+#ifndef LBP_REPAIR_OBQ_HH
+#define LBP_REPAIR_OBQ_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bpu/predictor.hh"
+#include "common/types.hh"
+
+namespace lbp {
+
+class Obq
+{
+  public:
+    struct Entry
+    {
+        Addr pc = 0;
+        LocalState preState = 0;
+        InstSeq firstSeq = invalidSeq;  ///< oldest instruction sharing it
+        InstSeq lastSeq = invalidSeq;   ///< youngest (== first unless merged)
+    };
+
+    explicit Obq(unsigned capacity, bool coalesce);
+
+    /**
+     * Checkpoint a prediction. Returns the assigned entry id, or
+     * invalidId when the queue is full (the paper's overflow case: the
+     * PC goes unprotected). @p merged reports id-sharing via coalescing.
+     */
+    std::uint64_t push(Addr pc, LocalState pre_state, InstSeq seq,
+                       bool *merged);
+
+    /** Entry lookup by id; id must be live (head <= id < tail). */
+    const Entry &at(std::uint64_t id) const;
+
+    /**
+     * Squash entries belonging to instructions younger than @p seq.
+     * A surviving coalesced tail entry that had younger merged
+     * instances is trimmed back to @p survivor_state / @p seq when
+     * those instances are squashed.
+     */
+    void squashYoungerThan(InstSeq seq, Addr survivor_pc,
+                           LocalState survivor_state);
+
+    /** Retirement: evict entries wholly older than the retiring branch. */
+    void retireUpTo(std::uint64_t id, InstSeq seq);
+
+    std::uint64_t head() const { return head_; }
+    std::uint64_t tail() const { return tail_; }
+    unsigned size() const { return static_cast<unsigned>(tail_ - head_); }
+    unsigned capacity() const { return capacity_; }
+    bool full() const { return size() == capacity_; }
+
+    /** Lifetime counters for stats. */
+    std::uint64_t overflowCount() const { return overflows_; }
+    std::uint64_t mergeCount() const { return merges_; }
+
+    /** Storage: 64-bit PC + 11-bit state + valid, per the paper. */
+    double
+    storageKB() const
+    {
+        return capacity_ * 76.0 / 8192.0;
+    }
+
+  private:
+    Entry &slot(std::uint64_t id) { return ring_[id % capacity_]; }
+    const Entry &slot(std::uint64_t id) const
+    {
+        return ring_[id % capacity_];
+    }
+
+    unsigned capacity_;
+    bool coalesce_;
+    std::vector<Entry> ring_;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+    std::uint64_t overflows_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+} // namespace lbp
+
+#endif // LBP_REPAIR_OBQ_HH

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Local-predictor repair schemes.
+ *
+ * A RepairScheme owns a local predictor instance and the policy side of
+ * integrating it into the OOO pipeline (section 2.4's event list): when
+ * the BHT is looked up and speculatively updated, what gets checkpointed
+ * where, what happens on a misprediction, and when the BHT is
+ * unavailable because a repair is in flight (section 2.5's issue list).
+ *
+ * Implemented schemes (paper sections in parentheses):
+ *  - PerfectRepair   — oracle upper bound: instantaneous, unbounded (6.1)
+ *  - NoRepair        — speculative updates, never repaired (2.7)
+ *  - RetireUpdate    — BHT written only at retirement (6.2)
+ *  - BackwardWalk    — Skadron history-file walk, youngest first (2.6)
+ *  - Snapshot        — whole-BHT snapshot queue (2.6)
+ *  - ForwardWalk     — mispredict-first walk with repair bits, optional
+ *                      OBQ coalescing (3.1)
+ *  - LimitedPc       — repair only M heuristically-chosen PCs (3.3)
+ *  - MultiStage      — split BHT-TAGE / BHT-Defer with alloc-stage
+ *                      override and two-step repair (3.2)
+ *
+ * Timing model: a repair performing W BHT writes with the configured
+ * ports sustains min(obqReadPorts, bhtWritePorts) writes per cycle and
+ * occupies the BHT until done. Backward walks and snapshot restores
+ * make the whole BHT unavailable for the duration; forward walks free
+ * each entry the cycle it is rewritten (the paper's key timeliness
+ * argument); limited-PC repair completes in a deterministic
+ * ceil(M / writePorts) cycles.
+ */
+
+#ifndef LBP_REPAIR_SCHEME_HH
+#define LBP_REPAIR_SCHEME_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bpu/local_two_level.hh"
+#include "bpu/loop_predictor.hh"
+#include "bpu/predictor.hh"
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/dyn_inst.hh"
+#include "repair/obq.hh"
+
+namespace lbp {
+
+/** Which repair technique to instantiate. */
+enum class RepairKind
+{
+    Perfect,
+    NoRepair,
+    RetireUpdate,
+    BackwardWalk,
+    Snapshot,
+    ForwardWalk,
+    LimitedPc,
+    MultiStage,
+    FutureFile,
+};
+
+const char *repairKindName(RepairKind kind);
+
+/** Which local predictor design the scheme manages. */
+enum class LocalKind
+{
+    CbpwLoop,   ///< the paper's demonstration vehicle
+    TwoLevel,   ///< generic Yeh-Patt (extensibility claim)
+};
+
+/** M-N-P structure configuration from the paper's figures. */
+struct RepairPorts
+{
+    unsigned entries = 32;        ///< OBQ / snapshot-queue entries
+    unsigned readPorts = 4;       ///< checkpoint-structure read ports
+    unsigned bhtWritePorts = 2;   ///< BHT write ports usable for repair
+};
+
+/** Full repair-scheme configuration. */
+struct RepairConfig
+{
+    RepairKind kind = RepairKind::ForwardWalk;
+    LocalKind localKind = LocalKind::CbpwLoop;
+    LoopConfig loop = LoopConfig::entries128();
+    LocalTwoLevelConfig twoLevel{};
+    RepairPorts ports{};
+    bool coalesce = false;        ///< ForwardWalk: OBQ entry merging
+    unsigned limitedM = 4;        ///< LimitedPc: PCs repaired
+    bool limitedInvalidate = false;  ///< LimitedPc: invalidate the rest
+    bool msSplitPt = false;       ///< MultiStage: split the PT
+    /** FutureFile: associative-search window (entries from the tail a
+     *  lookup can reach; the paper caps practical designs at 8-16). */
+    unsigned ffWindow = 16;
+    /**
+     * Optional CBP-style global WITHLOOP chooser. Off by default: the
+     * per-entry PT confidence (reset on a wrong used prediction) is the
+     * override gate, which reproduces the paper's observation that an
+     * unrepaired local predictor actively *loses* performance — a
+     * global trust counter would just turn it off instead.
+     */
+    bool useChooser = false;
+    int chooserInit = -4;  ///< chooser start value when enabled
+};
+
+/** Counters every scheme maintains. */
+struct RepairStats
+{
+    std::uint64_t repairsTriggered = 0;
+    std::uint64_t repairWrites = 0;
+    std::uint64_t uncheckpointedMispredicts = 0;
+    std::uint64_t deniedPredictions = 0;  ///< BHT busy at lookup
+    std::uint64_t skippedSpecUpdates = 0;
+    std::uint64_t overrides = 0;
+    std::uint64_t overridesCorrect = 0;
+    std::uint64_t earlyResteers = 0;
+    std::uint64_t earlyResteersWrong = 0;
+    Distribution walkLength;       ///< entries examined per repair
+    Distribution writesPerRepair;  ///< BHT writes per repair
+    Distribution repairsNeeded;    ///< distinct polluted PCs (Figure 8)
+    Distribution repairCycles;
+};
+
+/**
+ * Base class: implements the common fetch-stage policy (lookup,
+ * WITHLOOP-gated override, speculative update) and the Figure-8
+ * pollution accounting. The default misprediction action is "do
+ * nothing", i.e. the NoRepair scheme.
+ */
+class RepairScheme
+{
+  public:
+    struct PredictOutcome
+    {
+        bool finalDir = false;
+        bool usedLoop = false;
+    };
+
+    struct AllocOutcome
+    {
+        bool resteer = false;
+        bool dir = false;
+    };
+
+    RepairScheme(std::unique_ptr<LocalPredictor> lp,
+                 const RepairConfig &cfg);
+    virtual ~RepairScheme() = default;
+
+    /**
+     * Fetch-stage handling of a conditional branch: local lookup,
+     * override decision against @p tage_dir, checkpointing, and
+     * speculative BHT update. Fills di.br.
+     */
+    virtual PredictOutcome atPredict(DynInst &di, bool tage_dir,
+                                     Cycle now);
+
+    /** True-path fetch hook (oracle maintenance for PerfectRepair). */
+    virtual void atTruePathFetch(const DynInst &di) { (void)di; }
+
+    /** Alloc-stage hook; only MultiStage ever requests a resteer. */
+    virtual AllocOutcome
+    atAlloc(DynInst &di, Cycle now)
+    {
+        (void)di;
+        (void)now;
+        return {};
+    }
+
+    /** Execute-time resolution of a mispredicted conditional branch. */
+    virtual void atMispredict(DynInst &di, Cycle now);
+
+    /** Pipeline squash: instructions with seq > @p kept_seq vanish. */
+    virtual void atSquash(InstSeq kept_seq, const DynInst &cause);
+
+    /** Retirement of a conditional branch: training + housekeeping. */
+    virtual void atRetire(DynInst &di);
+
+    /** Additional storage beyond TAGE + the local predictor (KB). */
+    virtual double storageKB() const { return 0.0; }
+
+    virtual const char *name() const;
+
+    /** The managed local predictor (primary one for MultiStage). */
+    LocalPredictor &local() { return *lp_; }
+    const LocalPredictor &local() const { return *lp_; }
+
+    /** Local predictor storage (both tables for MultiStage). */
+    virtual double localStorageKB() const { return lp_->storageKB(); }
+
+    const RepairStats &stats() const { return stats_; }
+    const RepairConfig &config() const { return cfg_; }
+
+    /** Current WITHLOOP chooser value (diagnostics/tests). */
+    int chooserValue() const { return withLoop_.value(); }
+
+  protected:
+    /** Can the BHT serve a prediction for @p pc right now? */
+    virtual bool
+    bhtUsable(Addr pc, Cycle now) const
+    {
+        (void)pc;
+        (void)now;
+        return true;
+    }
+
+    /** Can the BHT accept a speculative update for @p pc right now? */
+    virtual bool
+    bhtWritable(Addr pc, Cycle now) const
+    {
+        return bhtUsable(pc, now);
+    }
+
+    /** Subclass checkpointing hook, called before the spec update. */
+    virtual void
+    checkpoint(DynInst &di, Cycle now)
+    {
+        (void)di;
+        (void)now;
+    }
+
+    /** Whether this scheme speculatively updates the BHT at predict. */
+    virtual bool specUpdatesAtPredict() const { return true; }
+
+    /** Writes-per-cycle a repair can sustain. */
+    unsigned
+    repairThroughput() const
+    {
+        return std::max(1u, std::min(cfg_.ports.readPorts,
+                                     cfg_.ports.bhtWritePorts));
+    }
+
+    /** Record a speculative update for Figure-8 pollution accounting. */
+    void logSpecUpdate(InstSeq seq, Addr pc);
+
+    /** Distinct PCs speculatively updated after @p seq (Figure 8). */
+    unsigned pollutedPcsSince(InstSeq seq) const;
+
+    /** The same set, as a list (LimitedPc invalidation ablation). */
+    std::vector<Addr> pollutedListSince(InstSeq seq) const;
+
+    std::unique_ptr<LocalPredictor> lp_;
+    RepairConfig cfg_;
+    RepairStats stats_;
+    SignedSatCounter withLoop_;
+
+  private:
+    /** Ring of recent speculative updates (seq, pc). */
+    std::vector<std::pair<InstSeq, Addr>> updateLog_;
+    std::size_t updateLogPos_ = 0;
+};
+
+/**
+ * Instantiate a scheme per @p cfg, constructing the local predictor(s)
+ * it manages from cfg.localKind / cfg.loop / cfg.twoLevel.
+ */
+std::unique_ptr<RepairScheme> makeRepairScheme(const RepairConfig &cfg);
+
+/** Construct a local predictor instance per the config (shared helper). */
+std::unique_ptr<LocalPredictor> makeLocalPredictor(const RepairConfig &cfg);
+
+} // namespace lbp
+
+#endif // LBP_REPAIR_SCHEME_HH

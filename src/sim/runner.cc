@@ -1,0 +1,204 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace lbp {
+
+RunResult
+runOne(const Program &prog, const SimConfig &cfg)
+{
+    OooCore core(prog, cfg);
+    core.run(cfg.warmupInstrs);
+    const CoreStats at_warm = core.stats();
+    core.run(cfg.measureInstrs);
+    const CoreStats window = CoreStats::delta(core.stats(), at_warm);
+
+    RunResult r;
+    r.workload = prog.name;
+    r.category = prog.category;
+    r.stats = window;
+    r.ipc = window.ipc();
+    r.mpki = window.mpki();
+    r.tageKB = core.tage().storageKB();
+
+    if (RepairScheme *scheme = core.scheme()) {
+        const RepairStats &ss = scheme->stats();
+        r.overrides = ss.overrides;
+        r.overridesCorrect = ss.overridesCorrect;
+        r.repairs = ss.repairsTriggered;
+        r.earlyResteers = ss.earlyResteers;
+        r.uncheckpointedMispredicts = ss.uncheckpointedMispredicts;
+        r.avgRepairsNeeded = ss.repairsNeeded.mean();
+        r.maxRepairsNeeded = ss.repairsNeeded.max();
+        r.avgRepairWrites = ss.writesPerRepair.mean();
+        r.avgRepairCycles = ss.repairCycles.mean();
+        r.localKB = scheme->localStorageKB();
+        r.repairKB = scheme->storageKB();
+    }
+    return r;
+}
+
+SuiteResult
+runSuite(const std::vector<Program> &suite, const SimConfig &cfg)
+{
+    SuiteResult res;
+    res.runs.reserve(suite.size());
+    for (const Program &prog : suite)
+        res.runs.push_back(runOne(prog, cfg));
+    return res;
+}
+
+namespace {
+
+void
+checkAligned(const SuiteResult &base, const SuiteResult &test)
+{
+    lbp_assert(base.runs.size() == test.runs.size());
+    for (std::size_t i = 0; i < base.runs.size(); ++i)
+        lbp_assert(base.runs[i].workload == test.runs[i].workload);
+}
+
+} // namespace
+
+std::vector<CategoryAgg>
+aggregateByCategory(const SuiteResult &base, const SuiteResult &test)
+{
+    checkAligned(base, test);
+
+    struct Acc
+    {
+        unsigned n = 0;
+        std::uint64_t baseMisp = 0, baseInstr = 0;
+        std::uint64_t testMisp = 0, testInstr = 0;
+        std::vector<double> ipcRatios;
+    };
+    std::map<std::string, Acc> by_cat;
+    std::vector<std::string> order;
+
+    for (std::size_t i = 0; i < base.runs.size(); ++i) {
+        const RunResult &b = base.runs[i];
+        const RunResult &t = test.runs[i];
+        if (by_cat.find(b.category) == by_cat.end())
+            order.push_back(b.category);
+        Acc &a = by_cat[b.category];
+        ++a.n;
+        a.baseMisp += b.stats.mispredicts;
+        a.baseInstr += b.stats.retiredInstrs;
+        a.testMisp += t.stats.mispredicts;
+        a.testInstr += t.stats.retiredInstrs;
+        if (b.ipc > 0.0 && t.ipc > 0.0)
+            a.ipcRatios.push_back(t.ipc / b.ipc);
+    }
+    order.push_back("All");
+    Acc &all = by_cat["All"];
+    for (const auto &[name, a] : by_cat) {
+        if (name == "All")
+            continue;
+        all.n += a.n;
+        all.baseMisp += a.baseMisp;
+        all.baseInstr += a.baseInstr;
+        all.testMisp += a.testMisp;
+        all.testInstr += a.testInstr;
+        all.ipcRatios.insert(all.ipcRatios.end(), a.ipcRatios.begin(),
+                             a.ipcRatios.end());
+    }
+
+    std::vector<CategoryAgg> out;
+    for (const std::string &name : order) {
+        const Acc &a = by_cat[name];
+        CategoryAgg c;
+        c.name = name;
+        c.workloads = a.n;
+        c.mpkiBase = a.baseInstr
+                         ? 1000.0 * static_cast<double>(a.baseMisp) /
+                               static_cast<double>(a.baseInstr)
+                         : 0.0;
+        c.mpkiTest = a.testInstr
+                         ? 1000.0 * static_cast<double>(a.testMisp) /
+                               static_cast<double>(a.testInstr)
+                         : 0.0;
+        c.mpkiReductionPct =
+            c.mpkiBase > 0.0
+                ? 100.0 * (c.mpkiBase - c.mpkiTest) / c.mpkiBase
+                : 0.0;
+        c.ipcGainPct = 100.0 * (geomean(a.ipcRatios) - 1.0);
+        out.push_back(c);
+    }
+    return out;
+}
+
+double
+mpkiReductionPct(const SuiteResult &base, const SuiteResult &test)
+{
+    checkAligned(base, test);
+    std::uint64_t bm = 0, bi = 0, tm = 0, ti = 0;
+    for (std::size_t i = 0; i < base.runs.size(); ++i) {
+        bm += base.runs[i].stats.mispredicts;
+        bi += base.runs[i].stats.retiredInstrs;
+        tm += test.runs[i].stats.mispredicts;
+        ti += test.runs[i].stats.retiredInstrs;
+    }
+    const double b = bi ? 1000.0 * static_cast<double>(bm) / bi : 0.0;
+    const double t = ti ? 1000.0 * static_cast<double>(tm) / ti : 0.0;
+    return b > 0.0 ? 100.0 * (b - t) / b : 0.0;
+}
+
+double
+ipcGainPct(const SuiteResult &base, const SuiteResult &test)
+{
+    checkAligned(base, test);
+    std::vector<double> ratios;
+    ratios.reserve(base.runs.size());
+    for (std::size_t i = 0; i < base.runs.size(); ++i)
+        if (base.runs[i].ipc > 0.0 && test.runs[i].ipc > 0.0)
+            ratios.push_back(test.runs[i].ipc / base.runs[i].ipc);
+    return 100.0 * (geomean(ratios) - 1.0);
+}
+
+std::vector<std::pair<std::string, double>>
+ipcSCurve(const SuiteResult &base, const SuiteResult &test)
+{
+    checkAligned(base, test);
+    std::vector<std::pair<std::string, double>> curve;
+    for (std::size_t i = 0; i < base.runs.size(); ++i) {
+        const double gain =
+            base.runs[i].ipc > 0.0
+                ? 100.0 * (test.runs[i].ipc / base.runs[i].ipc - 1.0)
+                : 0.0;
+        curve.emplace_back(base.runs[i].workload, gain);
+    }
+    std::sort(curve.begin(), curve.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second < b.second;
+              });
+    return curve;
+}
+
+BenchEnv
+BenchEnv::fromEnvironment()
+{
+    BenchEnv env;
+    if (const char *s = std::getenv("REPRO_INSTR"))
+        env.measureInstrs = std::strtoull(s, nullptr, 10);
+    if (const char *s = std::getenv("REPRO_WARMUP"))
+        env.warmupInstrs = std::strtoull(s, nullptr, 10);
+    if (const char *s = std::getenv("REPRO_WORKLOADS"))
+        env.maxWorkloads = static_cast<unsigned>(
+            std::strtoul(s, nullptr, 10));
+    return env;
+}
+
+void
+BenchEnv::apply(SimConfig &cfg) const
+{
+    cfg.warmupInstrs = warmupInstrs;
+    cfg.measureInstrs = measureInstrs;
+}
+
+} // namespace lbp

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment harness: run one workload (warm-up + measurement) and run
+ * whole suites, with the aggregation the paper's figures use —
+ * per-category MPKI reduction (misprediction-weighted) and geometric-
+ * mean IPC gain versus a baseline configuration.
+ */
+
+#ifndef LBP_SIM_RUNNER_HH
+#define LBP_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "workload/program.hh"
+
+namespace lbp {
+
+/** Result of simulating one workload under one configuration. */
+struct RunResult
+{
+    std::string workload;
+    std::string category;
+
+    CoreStats stats;  ///< measurement window only (warm-up excluded)
+    double ipc = 0.0;
+    double mpki = 0.0;
+
+    // Scheme-side counters (whole run; window-independent shapes).
+    std::uint64_t overrides = 0;
+    std::uint64_t overridesCorrect = 0;
+    std::uint64_t repairs = 0;
+    std::uint64_t earlyResteers = 0;
+    std::uint64_t uncheckpointedMispredicts = 0;
+    double avgRepairsNeeded = 0.0;
+    std::uint64_t maxRepairsNeeded = 0;
+    double avgRepairWrites = 0.0;
+    double avgRepairCycles = 0.0;
+
+    // Storage accounting for Table 3.
+    double tageKB = 0.0;
+    double localKB = 0.0;
+    double repairKB = 0.0;
+};
+
+/** Simulate one workload under @p cfg. */
+RunResult runOne(const Program &prog, const SimConfig &cfg);
+
+/** One RunResult per workload, in suite order. */
+struct SuiteResult
+{
+    std::vector<RunResult> runs;
+};
+
+/** Run every workload of @p suite under @p cfg. */
+SuiteResult runSuite(const std::vector<Program> &suite,
+                     const SimConfig &cfg);
+
+/** Per-category comparison row (Figures 4/7/9 style). */
+struct CategoryAgg
+{
+    std::string name;
+    unsigned workloads = 0;
+    double mpkiBase = 0.0;
+    double mpkiTest = 0.0;
+    double mpkiReductionPct = 0.0;  ///< positive = fewer mispredicts
+    double ipcGainPct = 0.0;        ///< geometric mean, percent
+};
+
+/** Aggregate @p test against @p base per category (plus an "All" row). */
+std::vector<CategoryAgg> aggregateByCategory(const SuiteResult &base,
+                                             const SuiteResult &test);
+
+/** Suite-wide MPKI reduction percent (misprediction-weighted). */
+double mpkiReductionPct(const SuiteResult &base, const SuiteResult &test);
+
+/** Suite-wide geometric-mean IPC gain percent. */
+double ipcGainPct(const SuiteResult &base, const SuiteResult &test);
+
+/** Per-workload IPC gains (percent), sorted ascending (S-curve). */
+std::vector<std::pair<std::string, double>>
+ipcSCurve(const SuiteResult &base, const SuiteResult &test);
+
+/** Environment knobs shared by every bench (see DESIGN.md section 7). */
+struct BenchEnv
+{
+    std::uint64_t warmupInstrs = 40000;
+    std::uint64_t measureInstrs = 60000;
+    unsigned maxWorkloads = 0;  ///< 0 = the full 202-workload suite
+
+    static BenchEnv fromEnvironment();
+    void apply(SimConfig &cfg) const;
+};
+
+} // namespace lbp
+
+#endif // LBP_SIM_RUNNER_HH

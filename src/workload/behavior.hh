@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Branch behaviour models.
+ *
+ * A BranchBehavior is the architectural "ground truth" generator for one
+ * static conditional branch. Behaviours are pure state machines over a
+ * small number of 64-bit state words owned by the executor, so the whole
+ * architectural branch state of a program is a flat, checkpointable
+ * vector. Outcomes are computed only on the true path (wrong-path fetch
+ * never executes branches; it only consumes predictions), mirroring real
+ * hardware.
+ *
+ * The model zoo covers the branch populations the paper's workloads were
+ * selected for (section 4): constant- and low-entropy-exit loops
+ * (backward TTT..N), forward if-then-else exits (NNN..T), repeating
+ * if-then-else patterns, branches correlated with global history (which
+ * favour TAGE), and biased-random branches (irreducible entropy).
+ */
+
+#ifndef LBP_WORKLOAD_BEHAVIOR_HH
+#define LBP_WORKLOAD_BEHAVIOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lbp {
+
+/** Read-only global context available to behaviours. */
+struct GlobalBranchCtx
+{
+    /** Shift register of the most recent true-path outcomes (bit0 newest). */
+    std::uint64_t globalHist = 0;
+};
+
+/**
+ * Abstract architectural behaviour of one static conditional branch.
+ */
+class BranchBehavior
+{
+  public:
+    virtual ~BranchBehavior() = default;
+
+    /** Number of 64-bit state words this behaviour owns. */
+    virtual unsigned stateWords() const = 0;
+
+    /** Initialize the state words at program start. */
+    virtual void reset(std::uint64_t *state) const = 0;
+
+    /** Compute the next outcome and advance the state. */
+    virtual bool next(std::uint64_t *state,
+                      const GlobalBranchCtx &ctx) const = 0;
+
+    /** Human-readable description for workload census output. */
+    virtual std::string describe() const = 0;
+};
+
+/**
+ * Loop-exit behaviour: a run of the dominant direction terminated by one
+ * occurrence of the opposite direction.
+ *
+ * With dominantTaken == true this is a classic backward loop branch
+ * (TTT...N); with false it is a forward periodic exit (NNN...T), the
+ * if-then-else extension the CBP-2016 loop predictor covers.
+ *
+ * The period (total executions per run, i.e. trip count) is drawn from a
+ * small weighted set each time a run completes, which models constant
+ * loops (one choice) and low-entropy exits (two or more choices).
+ */
+class LoopExitBehavior : public BranchBehavior
+{
+  public:
+    struct PeriodChoice
+    {
+        std::uint32_t period;  ///< executions per run, >= 2
+        std::uint32_t weight;  ///< relative selection weight
+    };
+
+    LoopExitBehavior(bool dominant_taken,
+                     std::vector<PeriodChoice> choices,
+                     std::uint64_t seed);
+
+    unsigned stateWords() const override { return 2; }
+    void reset(std::uint64_t *state) const override;
+    bool next(std::uint64_t *state, const GlobalBranchCtx &ctx)
+        const override;
+    std::string describe() const override;
+
+    bool dominantTaken() const { return dominantTaken_; }
+
+    /** Period currently in effect (test/inspection helper). */
+    static std::uint32_t currentPeriod(const std::uint64_t *state);
+
+  private:
+    std::uint32_t drawPeriod(std::uint64_t &lfsr_state) const;
+
+    bool dominantTaken_;
+    std::vector<PeriodChoice> choices_;
+    std::uint32_t totalWeight_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Fixed repeating direction pattern of period <= 64 (e.g. TNTN, TTNTTN):
+ * the classic two-level-local-predictable if-then-else shapes.
+ */
+class PatternBehavior : public BranchBehavior
+{
+  public:
+    PatternBehavior(std::uint64_t pattern, unsigned period);
+
+    unsigned stateWords() const override { return 1; }
+    void reset(std::uint64_t *state) const override;
+    bool next(std::uint64_t *state, const GlobalBranchCtx &ctx)
+        const override;
+    std::string describe() const override;
+
+    unsigned period() const { return period_; }
+
+  private:
+    std::uint64_t pattern_;
+    unsigned period_;
+};
+
+/**
+ * Outcome correlated with recent global history: parity of the selected
+ * history bits, with optional noise. These branches are TAGE's bread and
+ * butter and are essentially invisible to a local predictor, so they set
+ * the baseline accuracy and generate the mispredictions that trigger
+ * repair events.
+ */
+class CorrelatedBehavior : public BranchBehavior
+{
+  public:
+    CorrelatedBehavior(std::uint64_t history_mask, bool invert,
+                       std::uint32_t noise_permille, std::uint64_t seed);
+
+    unsigned stateWords() const override { return 1; }
+    void reset(std::uint64_t *state) const override;
+    bool next(std::uint64_t *state, const GlobalBranchCtx &ctx)
+        const override;
+    std::string describe() const override;
+
+  private:
+    std::uint64_t mask_;
+    bool invert_;
+    std::uint32_t noisePermille_;
+    std::uint64_t seed_;
+};
+
+/**
+ * Biased random branch: taken with a fixed probability, irreducible by
+ * any predictor. Provides the entropy floor the paper mentions ("not all
+ * of these gains are attainable due to cold branch misses and data
+ * entropy").
+ */
+class BiasedRandomBehavior : public BranchBehavior
+{
+  public:
+    BiasedRandomBehavior(std::uint32_t taken_permille, std::uint64_t seed);
+
+    unsigned stateWords() const override { return 1; }
+    void reset(std::uint64_t *state) const override;
+    bool next(std::uint64_t *state, const GlobalBranchCtx &ctx)
+        const override;
+    std::string describe() const override;
+
+  private:
+    std::uint32_t takenPermille_;
+    std::uint64_t seed_;
+};
+
+/** Owning pointer alias for behaviours. */
+using BehaviorPtr = std::unique_ptr<BranchBehavior>;
+
+} // namespace lbp
+
+#endif // LBP_WORKLOAD_BEHAVIOR_HH

@@ -1,0 +1,92 @@
+#include "workload/program.hh"
+
+#include <typeinfo>
+
+#include "common/logging.hh"
+
+namespace lbp {
+
+BranchCensus
+Program::census() const
+{
+    BranchCensus c;
+    for (const auto &br : branches) {
+        const BranchBehavior *b = br.behavior.get();
+        if (auto *loop = dynamic_cast<const LoopExitBehavior *>(b)) {
+            if (loop->dominantTaken())
+                ++c.loops;
+            else
+                ++c.forwardExits;
+        } else if (dynamic_cast<const PatternBehavior *>(b)) {
+            ++c.patterns;
+        } else if (dynamic_cast<const CorrelatedBehavior *>(b)) {
+            ++c.correlated;
+        } else {
+            ++c.random;
+        }
+    }
+    return c;
+}
+
+std::size_t
+Program::staticInstCount() const
+{
+    std::size_t n = 0;
+    for (const auto &bb : blocks)
+        n += bb.body.size();
+    return n;
+}
+
+void
+Program::validate() const
+{
+    lbp_assert(!blocks.empty());
+    unsigned expected_offset = 0;
+    for (std::size_t i = 0; i < branches.size(); ++i) {
+        const StaticBranch &br = branches[i];
+        lbp_assert(br.behavior != nullptr);
+        lbp_assert(br.blockIdx < blocks.size());
+        const BasicBlock &bb = blocks[br.blockIdx];
+        lbp_assert(bb.branchId == static_cast<int>(i));
+        lbp_assert(!bb.body.empty());
+        lbp_assert(bb.body.back().cls == InstClass::CondBranch);
+        lbp_assert(bb.body.back().pc == br.pc);
+        lbp_assert(br.stateOffset == expected_offset);
+        expected_offset += br.behavior->stateWords();
+    }
+    lbp_assert(expected_offset == totalStateWords);
+
+    for (const auto &bb : blocks) {
+        lbp_assert(!bb.body.empty());
+        lbp_assert(bb.fallThrough < blocks.size());
+        if (bb.branchId >= 0 || bb.endsWithJump)
+            lbp_assert(bb.takenTarget < blocks.size());
+        lbp_assert(!(bb.branchId >= 0 && bb.endsWithJump));
+        if (bb.endsWithJump)
+            lbp_assert(bb.body.back().cls == InstClass::Jump);
+        for (const auto &si : bb.body) {
+            if (si.cls == InstClass::Load || si.cls == InstClass::Store)
+                lbp_assert(si.stream < streams.size());
+        }
+    }
+}
+
+void
+cfgAdvance(const Program &prog, CfgCursor &cur, bool taken)
+{
+    const BasicBlock &bb = prog.blocks[cur.block];
+    if (cur.slot + 1 < bb.body.size()) {
+        ++cur.slot;
+        return;
+    }
+    // Past the last instruction of the block: follow the terminator.
+    if (bb.branchId >= 0)
+        cur.block = taken ? bb.takenTarget : bb.fallThrough;
+    else if (bb.endsWithJump)
+        cur.block = bb.takenTarget;
+    else
+        cur.block = bb.fallThrough;
+    cur.slot = 0;
+}
+
+} // namespace lbp

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the common substrate: saturating counters, RNG,
+ * set-associative table, statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.hh"
+#include "common/sat_counter.hh"
+#include "common/set_assoc.hh"
+#include "common/stats.hh"
+
+using namespace lbp;
+
+// ---------------------------------------------------------------------
+// SatCounter
+// ---------------------------------------------------------------------
+
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidth, SaturatesAtBounds)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits);
+    for (unsigned i = 0; i < (2u << bits); ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.max());
+    EXPECT_TRUE(c.saturated());
+    for (unsigned i = 0; i < (2u << bits); ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST_P(SatCounterWidth, TakenThresholdIsMidpoint)
+{
+    const unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    EXPECT_FALSE(c.taken());
+    c.set((1u << (bits - 1)) - 1);
+    EXPECT_FALSE(c.taken());
+    c.set(1u << (bits - 1));
+    EXPECT_TRUE(c.taken());
+    c.set(c.max());
+    EXPECT_TRUE(c.taken());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 11u));
+
+TEST(SatCounter, UpdateMovesTowardDirection)
+{
+    SatCounter c(2, 1);
+    c.update(true);
+    EXPECT_EQ(c.value(), 2u);
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// SignedSatCounter
+// ---------------------------------------------------------------------
+
+class SignedWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SignedWidth, RangeAndSaturation)
+{
+    const unsigned bits = GetParam();
+    SignedSatCounter c(bits, 0);
+    EXPECT_EQ(c.min(), -(1 << (bits - 1)));
+    EXPECT_EQ(c.max(), (1 << (bits - 1)) - 1);
+    for (int i = 0; i < (2 << bits); ++i)
+        c.update(true);
+    EXPECT_EQ(c.value(), c.max());
+    for (int i = 0; i < (2 << bits); ++i)
+        c.update(false);
+    EXPECT_EQ(c.value(), c.min());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignedWidth,
+                         ::testing::Values(2u, 3u, 7u, 8u));
+
+TEST(SignedSatCounter, NonNegativeReadsTaken)
+{
+    SignedSatCounter c(4, -1);
+    EXPECT_FALSE(c.taken());
+    c.update(true);
+    EXPECT_TRUE(c.taken());
+    EXPECT_EQ(c.magnitude(), 0u);
+    c.set(-3);
+    EXPECT_EQ(c.magnitude(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+TEST(Random, SplitMixIsDeterministic)
+{
+    EXPECT_EQ(splitmix64(42), splitmix64(42));
+    EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Random, XoshiroReproducibleAcrossReseed)
+{
+    Xoshiro256ss a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    a.reseed(7);
+    Xoshiro256ss c(7);
+    EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(Random, BelowStaysInRange)
+{
+    Xoshiro256ss rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Random, RangeInclusive)
+{
+    Xoshiro256ss rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u) << "all values in [3,6] must appear";
+}
+
+TEST(Random, ChanceMatchesProbability)
+{
+    Xoshiro256ss rng(11);
+    unsigned hits = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Random, LfsrNeverSticksAtZero)
+{
+    std::uint64_t state = 0;
+    const std::uint16_t first = Lfsr16::step(state);
+    EXPECT_NE(first, 0);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_NE(Lfsr16::step(state), 0);
+}
+
+// ---------------------------------------------------------------------
+// SetAssocTable
+// ---------------------------------------------------------------------
+
+struct Payload
+{
+    int v = 0;
+};
+
+TEST(SetAssoc, InsertLookupRoundTrip)
+{
+    SetAssocTable<Payload> t(16, 4);
+    auto &way = t.insert(0x1234);
+    way.data.v = 99;
+    const auto *hit = t.lookup(0x1234);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->data.v, 99);
+    EXPECT_EQ(t.lookup(0x9999), nullptr);
+}
+
+TEST(SetAssoc, LruEvictsLeastRecentlyUsed)
+{
+    SetAssocTable<Payload> t(1, 2);  // one set, two ways
+    t.insert(0).data.v = 1;
+    t.insert(1).data.v = 2;
+    // Touch key 0 so key 1 becomes LRU.
+    ASSERT_NE(t.lookup(0), nullptr);
+    bool victimized = false;
+    t.insert(2, &victimized);
+    EXPECT_TRUE(victimized);
+    EXPECT_NE(t.lookup(0), nullptr) << "recently used entry must stay";
+    EXPECT_EQ(t.lookup(1), nullptr) << "LRU entry must be evicted";
+}
+
+TEST(SetAssoc, InvalidateRemovesEntry)
+{
+    SetAssocTable<Payload> t(8, 2);
+    t.insert(5);
+    EXPECT_NE(t.lookup(5), nullptr);
+    t.invalidate(5);
+    EXPECT_EQ(t.lookup(5), nullptr);
+    t.invalidate(5);  // double-invalidate is a no-op
+}
+
+TEST(SetAssoc, KeysMapToDistinctSets)
+{
+    SetAssocTable<Payload> t(4, 1);
+    // Keys 0..3 land in different sets, so all coexist with 1 way.
+    for (std::uint64_t k = 0; k < 4; ++k)
+        t.insert(k);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        EXPECT_NE(t.lookup(k), nullptr);
+}
+
+TEST(SetAssoc, TagDisambiguatesAliases)
+{
+    SetAssocTable<Payload> t(4, 2);
+    // Keys 1 and 5 share set index 1 but differ in tag.
+    t.insert(1).data.v = 10;
+    t.insert(5).data.v = 50;
+    EXPECT_EQ(t.lookup(1)->data.v, 10);
+    EXPECT_EQ(t.lookup(5)->data.v, 50);
+}
+
+TEST(SetAssoc, HelpersPowerOf2)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(9), 3u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+TEST(Stats, DistributionTracksMoments)
+{
+    Distribution d;
+    for (std::uint64_t v : {1, 2, 3, 4, 10})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.min(), 1u);
+    EXPECT_EQ(d.max(), 10u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+}
+
+TEST(Stats, GeomeanOfRatios)
+{
+    EXPECT_NEAR(geomean({2.0, 0.5}), 1.0, 1e-12);
+    EXPECT_NEAR(geomean({1.1, 1.1, 1.1}), 1.1, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Stats, MeanAndFormatting)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtPercent(0.0312, 1), "3.1%");
+}
+
+TEST(Stats, TextTableAlignsColumns)
+{
+    TextTable t({"a", "bbbb"});
+    t.addRow({"xxxx", "y"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a     bbbb"), std::string::npos);
+    EXPECT_NE(out.find("xxxx  y"), std::string::npos);
+}

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Integration tests: the paper's headline causal claims, checked
+ * end-to-end on the real pipeline. These are the properties the whole
+ * reproduction stands on, so they run on real workloads with real
+ * budgets (still < seconds each).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+
+namespace {
+
+RunResult
+runScheme(const Program &prog, RepairKind kind,
+          RepairPorts ports = {32, 4, 2}, bool use_local = true)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = 40000;
+    cfg.measureInstrs = 80000;
+    cfg.useLocal = use_local;
+    cfg.repair.kind = kind;
+    cfg.repair.ports = ports;
+    return runOne(prog, cfg);
+}
+
+const Program &
+loopHeavy()
+{
+    static const Program prog = buildWorkload(
+        categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    return prog;
+}
+
+} // namespace
+
+TEST(Integration, PerfectRepairBeatsBaseline)
+{
+    const RunResult base =
+        runScheme(loopHeavy(), RepairKind::Perfect, {32, 4, 2}, false);
+    const RunResult perfect =
+        runScheme(loopHeavy(), RepairKind::Perfect);
+    EXPECT_LT(perfect.mpki, base.mpki * 0.95)
+        << "the local predictor must reduce MPKI with perfect repair";
+    EXPECT_GT(perfect.ipc, base.ipc);
+}
+
+TEST(Integration, RepairQualityLadder)
+{
+    const RunResult perfect =
+        runScheme(loopHeavy(), RepairKind::Perfect);
+    const RunResult fwd =
+        runScheme(loopHeavy(), RepairKind::ForwardWalk);
+    const RunResult norep =
+        runScheme(loopHeavy(), RepairKind::NoRepair);
+    EXPECT_LE(perfect.mpki, fwd.mpki * 1.02)
+        << "perfect is the floor";
+    EXPECT_LT(fwd.mpki, norep.mpki)
+        << "forward-walk must beat no repair";
+}
+
+TEST(Integration, UnboundedForwardWalkMatchesPerfect)
+{
+    // With an unbounded OBQ and ports, forward walk restores exactly
+    // the architectural state perfect repair restores — the strongest
+    // internal consistency check of the repair machinery.
+    const RunResult perfect =
+        runScheme(loopHeavy(), RepairKind::Perfect);
+    const RunResult fwd = runScheme(loopHeavy(),
+                                    RepairKind::ForwardWalk,
+                                    {4096, 64, 64});
+    EXPECT_NEAR(fwd.mpki, perfect.mpki, 0.05);
+    EXPECT_NEAR(fwd.ipc, perfect.ipc, 0.01);
+}
+
+TEST(Integration, NoRepairLosesOnTightLoops)
+{
+    // A BP-category workload (tight loops, heavy pollution).
+    const Program prog =
+        buildWorkload(categoryProfiles()[5], 3, SuiteOptions{}.seed);
+    const RunResult base =
+        runScheme(prog, RepairKind::Perfect, {32, 4, 2}, false);
+    const RunResult norep = runScheme(prog, RepairKind::NoRepair);
+    EXPECT_GT(norep.mpki, base.mpki * 0.97)
+        << "an unrepaired local predictor must not look like a win";
+}
+
+TEST(Integration, SmallerBhtGivesSmallerGains)
+{
+    SimConfig base;
+    base.warmupInstrs = 40000;
+    base.measureInstrs = 80000;
+    const RunResult baseline = runOne(loopHeavy(), base);
+
+    double gains[2];
+    const LoopConfig cfgs[2] = {LoopConfig::entries64(),
+                                LoopConfig::entries256()};
+    for (int i = 0; i < 2; ++i) {
+        SimConfig cfg = base;
+        cfg.useLocal = true;
+        cfg.repair.kind = RepairKind::Perfect;
+        cfg.repair.loop = cfgs[i];
+        const RunResult r = runOne(loopHeavy(), cfg);
+        gains[i] = baseline.mpki - r.mpki;
+    }
+    EXPECT_GE(gains[1], gains[0] * 0.9)
+        << "256 entries must not be much worse than 64";
+}
+
+TEST(Integration, BiggerTageLowersBaselineMpki)
+{
+    SimConfig small;
+    small.warmupInstrs = 40000;
+    small.measureInstrs = 80000;
+    SimConfig big = small;
+    big.tage = TageConfig::kb57();
+    const RunResult r_small = runOne(loopHeavy(), small);
+    const RunResult r_big = runOne(loopHeavy(), big);
+    EXPECT_LT(r_big.mpki, r_small.mpki);
+}
+
+TEST(Integration, SuiteLevelHeadline)
+{
+    // Scaled-down version of the Table 3 headline: across a category-
+    // balanced subsample, perfect repair buys a solid MPKI reduction
+    // and a positive IPC gain, and forward walk retains most of it.
+    SuiteOptions opts;
+    opts.maxWorkloads = 14;
+    const auto suite = buildSuite(opts);
+
+    SimConfig base;
+    base.warmupInstrs = 40000;
+    base.measureInstrs = 60000;
+    const SuiteResult baseline = runSuite(suite, base);
+
+    SimConfig perfect = base;
+    perfect.useLocal = true;
+    perfect.repair.kind = RepairKind::Perfect;
+    const SuiteResult r_perfect = runSuite(suite, perfect);
+
+    SimConfig fwd = base;
+    fwd.useLocal = true;
+    fwd.repair.kind = RepairKind::ForwardWalk;
+    fwd.repair.ports = {32, 4, 2};
+    const SuiteResult r_fwd = runSuite(suite, fwd);
+
+    const double perfect_mpki = mpkiReductionPct(baseline, r_perfect);
+    const double perfect_ipc = ipcGainPct(baseline, r_perfect);
+    const double fwd_ipc = ipcGainPct(baseline, r_fwd);
+
+    EXPECT_GT(perfect_mpki, 10.0)
+        << "perfect repair must reduce MPKI suite-wide";
+    EXPECT_GT(perfect_ipc, 0.5);
+    EXPECT_GT(fwd_ipc, 0.5 * perfect_ipc)
+        << "forward walk retains the majority of perfect gains";
+}
+
+TEST(Integration, AggregationHelpers)
+{
+    SuiteOptions opts;
+    opts.maxWorkloads = 7;
+    const auto suite = buildSuite(opts);
+    SimConfig base;
+    base.warmupInstrs = 10000;
+    base.measureInstrs = 20000;
+    const SuiteResult a = runSuite(suite, base);
+
+    // Self-comparison: zero reductions, flat S-curve, aligned categories.
+    EXPECT_DOUBLE_EQ(mpkiReductionPct(a, a), 0.0);
+    EXPECT_NEAR(ipcGainPct(a, a), 0.0, 1e-9);
+    const auto curve = ipcSCurve(a, a);
+    EXPECT_EQ(curve.size(), suite.size());
+    for (const auto &[name, gain] : curve)
+        EXPECT_NEAR(gain, 0.0, 1e-9);
+    const auto agg = aggregateByCategory(a, a);
+    ASSERT_FALSE(agg.empty());
+    EXPECT_EQ(agg.back().name, "All");
+    unsigned total = 0;
+    for (const auto &c : agg)
+        if (c.name != "All")
+            total += c.workloads;
+    EXPECT_EQ(total, suite.size());
+}

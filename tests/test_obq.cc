@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the Outstanding Branch Queue: id assignment, overflow,
+ * squash rollback, retirement eviction, and the coalescing rules of
+ * section 3.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "repair/obq.hh"
+
+using namespace lbp;
+
+TEST(Obq, PushAssignsMonotonicIds)
+{
+    Obq q(8, false);
+    bool merged = false;
+    EXPECT_EQ(q.push(0x100, 1, 10, &merged), 0u);
+    EXPECT_EQ(q.push(0x104, 2, 11, &merged), 1u);
+    EXPECT_EQ(q.push(0x108, 3, 12, &merged), 2u);
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.at(1).pc, 0x104u);
+    EXPECT_EQ(q.at(1).preState, 2);
+}
+
+TEST(Obq, OverflowReturnsInvalid)
+{
+    Obq q(2, false);
+    bool merged = false;
+    q.push(0x100, 1, 1, &merged);
+    q.push(0x104, 2, 2, &merged);
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.push(0x108, 3, 3, &merged), invalidId);
+    EXPECT_EQ(q.overflowCount(), 1u);
+}
+
+TEST(Obq, RetireEvictsHead)
+{
+    Obq q(4, false);
+    bool merged = false;
+    q.push(0x100, 1, 1, &merged);
+    q.push(0x104, 2, 2, &merged);
+    q.push(0x108, 3, 3, &merged);
+    q.retireUpTo(0, 2);  // everything with lastSeq <= 2 leaves
+    EXPECT_EQ(q.head(), 2u);
+    EXPECT_EQ(q.size(), 1u);
+    // Freed slots are reusable.
+    q.push(0x10c, 4, 4, &merged);
+    q.push(0x110, 5, 5, &merged);
+    q.push(0x114, 6, 6, &merged);
+    EXPECT_TRUE(q.full());
+}
+
+TEST(Obq, SquashDropsYoungerEntries)
+{
+    Obq q(8, false);
+    bool merged = false;
+    q.push(0x100, 1, 10, &merged);
+    q.push(0x104, 2, 20, &merged);
+    q.push(0x108, 3, 30, &merged);
+    q.squashYoungerThan(20, 0x104, 2);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.at(q.tail() - 1).pc, 0x104u);
+}
+
+TEST(Obq, CoalescingMergesThirdConsecutiveInstance)
+{
+    Obq q(8, true);
+    bool merged = false;
+    const auto id0 = q.push(0x100, 1, 1, &merged);
+    EXPECT_FALSE(merged);
+    const auto id1 = q.push(0x100, 2, 2, &merged);
+    EXPECT_FALSE(merged) << "second instance keeps its own entry";
+    EXPECT_NE(id0, id1);
+    const auto id2 = q.push(0x100, 3, 3, &merged);
+    EXPECT_TRUE(merged) << "third instance merges into the last entry";
+    EXPECT_EQ(id2, id1);
+    EXPECT_EQ(q.size(), 2u) << "first and last instance remain";
+    EXPECT_EQ(q.at(id1).preState, 3) << "payload tracks latest instance";
+    EXPECT_EQ(q.at(id1).firstSeq, 2u);
+    EXPECT_EQ(q.at(id1).lastSeq, 3u);
+    EXPECT_EQ(q.mergeCount(), 1u);
+}
+
+TEST(Obq, CoalescingBrokenByInterveningPc)
+{
+    Obq q(8, true);
+    bool merged = false;
+    q.push(0x100, 1, 1, &merged);
+    q.push(0x100, 2, 2, &merged);
+    q.push(0x200, 9, 3, &merged);
+    q.push(0x100, 3, 4, &merged);
+    EXPECT_FALSE(merged) << "run interrupted by another PC";
+    EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(Obq, CoalescingDisabledKeepsAllEntries)
+{
+    Obq q(8, false);
+    bool merged = false;
+    for (unsigned i = 0; i < 5; ++i)
+        q.push(0x100, i, i, &merged);
+    EXPECT_EQ(q.size(), 5u);
+    EXPECT_EQ(q.mergeCount(), 0u);
+}
+
+TEST(Obq, SquashTrimsMergedEntryToSurvivor)
+{
+    Obq q(8, true);
+    bool merged = false;
+    q.push(0x100, 1, 1, &merged);
+    q.push(0x100, 2, 2, &merged);
+    q.push(0x100, 3, 3, &merged);  // merged into entry id 1
+    q.push(0x100, 4, 4, &merged);  // merged again
+    ASSERT_TRUE(merged);
+    // Instruction 3 mispredicts: instances 4 squashed; the entry must
+    // be trimmed back to instance 3's state.
+    q.squashYoungerThan(3, 0x100, 3);
+    EXPECT_EQ(q.at(q.tail() - 1).lastSeq, 3u);
+    EXPECT_EQ(q.at(q.tail() - 1).preState, 3);
+}
+
+TEST(Obq, CoalescedRunCanStillMergeAfterSquash)
+{
+    Obq q(8, true);
+    bool merged = false;
+    q.push(0x100, 1, 1, &merged);
+    q.push(0x100, 2, 2, &merged);
+    q.push(0x100, 3, 3, &merged);
+    q.squashYoungerThan(2, 0x100, 2);
+    q.push(0x100, 5, 5, &merged);
+    EXPECT_TRUE(merged);
+    EXPECT_EQ(q.at(q.tail() - 1).preState, 5);
+}
+
+TEST(Obq, StoragePerPaper)
+{
+    // 76 bits per entry (64-bit PC + 11-bit pattern + valid).
+    Obq q(32, false);
+    EXPECT_NEAR(q.storageKB(), 32 * 76.0 / 8192.0, 1e-9);
+}

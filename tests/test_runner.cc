@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the sim harness: environment knobs, run accounting, and
+ * TAGE-configuration property sweeps through the full runner path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+
+TEST(BenchEnv, DefaultsWhenUnset)
+{
+    unsetenv("REPRO_INSTR");
+    unsetenv("REPRO_WARMUP");
+    unsetenv("REPRO_WORKLOADS");
+    const BenchEnv env = BenchEnv::fromEnvironment();
+    EXPECT_EQ(env.measureInstrs, 60000u);
+    EXPECT_EQ(env.warmupInstrs, 40000u);
+    EXPECT_EQ(env.maxWorkloads, 0u);
+}
+
+TEST(BenchEnv, ReadsOverrides)
+{
+    setenv("REPRO_INSTR", "12345", 1);
+    setenv("REPRO_WARMUP", "777", 1);
+    setenv("REPRO_WORKLOADS", "9", 1);
+    const BenchEnv env = BenchEnv::fromEnvironment();
+    EXPECT_EQ(env.measureInstrs, 12345u);
+    EXPECT_EQ(env.warmupInstrs, 777u);
+    EXPECT_EQ(env.maxWorkloads, 9u);
+    unsetenv("REPRO_INSTR");
+    unsetenv("REPRO_WARMUP");
+    unsetenv("REPRO_WORKLOADS");
+
+    SimConfig cfg;
+    BenchEnv e2;
+    e2.warmupInstrs = 111;
+    e2.measureInstrs = 222;
+    e2.apply(cfg);
+    EXPECT_EQ(cfg.warmupInstrs, 111u);
+    EXPECT_EQ(cfg.measureInstrs, 222u);
+}
+
+TEST(Runner, RunOneFillsEveryField)
+{
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 3, SuiteOptions{}.seed);
+    SimConfig cfg;
+    cfg.warmupInstrs = 10000;
+    cfg.measureInstrs = 20000;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::ForwardWalk;
+    const RunResult r = runOne(prog, cfg);
+    EXPECT_EQ(r.workload, prog.name);
+    EXPECT_EQ(r.category, "Server");
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GE(r.stats.retiredInstrs, 20000u);
+    EXPECT_GT(r.tageKB, 5.0);
+    EXPECT_GT(r.localKB, 0.3);
+    EXPECT_GT(r.repairKB, 0.2);
+}
+
+TEST(Runner, RunOneIsDeterministic)
+{
+    const Program prog =
+        buildWorkload(categoryProfiles()[4], 0, SuiteOptions{}.seed);
+    SimConfig cfg;
+    cfg.warmupInstrs = 10000;
+    cfg.measureInstrs = 20000;
+    const RunResult a = runOne(prog, cfg);
+    const RunResult b = runOne(prog, cfg);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+}
+
+// A TAGE-configuration property: bigger configurations never do
+// meaningfully worse, end to end through the pipeline.
+class TageConfigs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TageConfigs, LargerIsNotWorse)
+{
+    const Program prog = buildWorkload(
+        categoryProfiles()[static_cast<unsigned>(GetParam())], 0,
+        SuiteOptions{}.seed);
+    SimConfig small;
+    small.warmupInstrs = 15000;
+    small.measureInstrs = 30000;
+    SimConfig big = small;
+    big.tage = TageConfig::kb57();
+    const RunResult rs = runOne(prog, small);
+    const RunResult rb = runOne(prog, big);
+    EXPECT_LE(rb.mpki, rs.mpki * 1.1)
+        << "57KB TAGE must not lose to 7KB";
+}
+
+INSTANTIATE_TEST_SUITE_P(Categories, TageConfigs,
+                         ::testing::Values(0, 2, 4, 6));
+
+TEST(Runner, SCurveIsSortedAscending)
+{
+    SuiteOptions opts;
+    opts.maxWorkloads = 7;
+    const auto suite = buildSuite(opts);
+    SimConfig base;
+    base.warmupInstrs = 8000;
+    base.measureInstrs = 15000;
+    SimConfig test = base;
+    test.useLocal = true;
+    test.repair.kind = RepairKind::Perfect;
+    const auto curve =
+        ipcSCurve(runSuite(suite, base), runSuite(suite, test));
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_LE(curve[i - 1].second, curve[i].second);
+}

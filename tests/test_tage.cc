@@ -1,0 +1,178 @@
+/**
+ * @file
+ * TAGE unit tests: learning on canonical branch populations, history
+ * checkpoint/restore semantics, configuration storage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpu/tage.hh"
+#include "common/random.hh"
+
+using namespace lbp;
+
+namespace {
+
+/** Drive one predict/update step for a branch. */
+bool
+step(TagePredictor &tage, Addr pc, bool actual)
+{
+    TagePred p;
+    const bool pred = tage.predict(pc, p);
+    tage.specUpdateHist(pc, actual);  // perfect front-end: push actual
+    tage.train(pc, actual, p);
+    return pred == actual;
+}
+
+/** Accuracy of the last @p measure steps of @p gen after warm-up. */
+template <typename Gen>
+double
+accuracy(TagePredictor &tage, unsigned warmup, unsigned measure,
+         Gen &&gen)
+{
+    for (unsigned i = 0; i < warmup; ++i)
+        gen(true);
+    unsigned correct = 0;
+    for (unsigned i = 0; i < measure; ++i)
+        correct += gen(false) ? 1 : 0;
+    return static_cast<double>(correct) / measure;
+}
+
+} // namespace
+
+TEST(Tage, AlwaysTakenConverges)
+{
+    TagePredictor tage;
+    unsigned correct = 0;
+    for (unsigned i = 0; i < 1000; ++i)
+        correct += step(tage, 0x400100, true) ? 1 : 0;
+    EXPECT_GT(correct, 990u);
+}
+
+TEST(Tage, AlternatingPatternConverges)
+{
+    TagePredictor tage;
+    bool dir = false;
+    unsigned correct = 0;
+    for (unsigned i = 0; i < 4000; ++i) {
+        dir = !dir;
+        const bool ok = step(tage, 0x400200, dir);
+        if (i >= 2000)
+            correct += ok ? 1 : 0;
+    }
+    EXPECT_GT(correct, 1960u) << "TNTN pattern must be near-perfect";
+}
+
+TEST(Tage, ShortPeriodicPatternConverges)
+{
+    // Period-3 TTN pattern on one branch, interleaved with an
+    // always-taken branch (as inside a loop body).
+    TagePredictor tage;
+    unsigned i = 0;
+    unsigned correct = 0, total = 0;
+    for (unsigned n = 0; n < 6000; ++n) {
+        step(tage, 0x400300, true);  // loop branch
+        const bool dir = (i % 3) != 2;
+        ++i;
+        const bool ok = step(tage, 0x400400, dir);
+        if (n >= 3000) {
+            correct += ok ? 1 : 0;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.95)
+        << "period-3 pattern in stable context must converge";
+}
+
+TEST(Tage, GlobalCorrelationLearned)
+{
+    // Branch B's outcome equals branch A's most recent outcome.
+    TagePredictor tage;
+    Xoshiro256ss rng(7);
+    bool last_a = false;
+    unsigned correct = 0, total = 0;
+    for (unsigned n = 0; n < 8000; ++n) {
+        last_a = rng.chance(0.5);
+        step(tage, 0x400500, last_a);
+        const bool ok = step(tage, 0x400600, last_a);
+        if (n >= 4000) {
+            correct += ok ? 1 : 0;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.93);
+}
+
+TEST(Tage, LongLoopExitNeedsLongHistory)
+{
+    // Constant-trip loop of period 12: exits are learnable within the
+    // history lengths of the 7.1KB config.
+    TagePredictor tage;
+    unsigned correct = 0, total = 0;
+    unsigned iter = 0;
+    for (unsigned n = 0; n < 20000; ++n) {
+        const bool dir = ++iter < 12;
+        if (!dir)
+            iter = 0;
+        const bool ok = step(tage, 0x400700, dir);
+        if (n >= 10000) {
+            correct += ok ? 1 : 0;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.97);
+}
+
+TEST(Tage, CheckpointRestoreRoundTrip)
+{
+    TagePredictor tage;
+    Xoshiro256ss rng(13);
+    for (unsigned i = 0; i < 500; ++i)
+        step(tage, 0x400000 + 4 * (i % 7), rng.chance(0.6));
+
+    const TageCheckpoint ckpt = tage.checkpoint();
+    TagePred before;
+    tage.predict(0x400abc, before);
+
+    // Wander down a "wrong path" of speculative pushes.
+    for (unsigned i = 0; i < 40; ++i)
+        tage.specUpdateHist(0x400f00 + 4 * i, (i & 3) == 0);
+
+    tage.restore(ckpt);
+    TagePred after;
+    tage.predict(0x400abc, after);
+
+    EXPECT_EQ(before.pred, after.pred);
+    EXPECT_EQ(before.provider, after.provider);
+    EXPECT_EQ(before.indices, after.indices);
+    EXPECT_EQ(before.tags, after.tags);
+}
+
+TEST(Tage, ConfigStorageBudgets)
+{
+    EXPECT_NEAR(TageConfig::kb7().storageKB(), 7.1, 0.8);
+    EXPECT_NEAR(TageConfig::kb9().storageKB(), 9.0, 1.0);
+    EXPECT_NEAR(TageConfig::kb57().storageKB(), 57.0, 6.0);
+    EXPECT_GT(TageConfig::kb9().storageKB(),
+              TageConfig::kb7().storageKB());
+    EXPECT_GT(TageConfig::kb57().storageKB(),
+              TageConfig::kb9().storageKB());
+}
+
+TEST(Tage, BiasedRandomTracksBias)
+{
+    // A 90/10 branch should be predicted taken nearly always, giving
+    // ~90% accuracy (the entropy floor).
+    TagePredictor tage;
+    Xoshiro256ss rng(99);
+    unsigned correct = 0, total = 0;
+    for (unsigned n = 0; n < 10000; ++n) {
+        const bool dir = rng.chance(0.9);
+        const bool ok = step(tage, 0x400900, dir);
+        if (n >= 2000) {
+            correct += ok ? 1 : 0;
+            ++total;
+        }
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}

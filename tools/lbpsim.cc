@@ -1,0 +1,341 @@
+/**
+ * @file
+ * lbpsim — command-line front-end for the simulator.
+ *
+ * Run any workload (or the whole suite) under any predictor/repair
+ * configuration and print per-run or aggregated results, optionally as
+ * CSV for plotting.
+ *
+ *   lbpsim --workload Server:0 --scheme forward-walk --ports 32-4-2
+ *   lbpsim --suite 21 --scheme perfect --loop 256 --csv out.csv
+ *   lbpsim --list
+ *
+ * Exit codes: 0 ok, 1 bad usage (fatal() semantics).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+
+namespace {
+
+struct Options
+{
+    std::optional<std::pair<std::string, unsigned>> workload;
+    unsigned suite = 0;           ///< 0 = no suite run
+    bool fullSuite = false;
+    std::string scheme = "baseline";
+    RepairPorts ports{32, 4, 2};
+    bool coalesce = false;
+    unsigned limitedM = 4;
+    unsigned loopEntries = 128;
+    unsigned tageKB = 7;
+    std::uint64_t warmup = 40000;
+    std::uint64_t instrs = 60000;
+    std::string csvPath;
+    bool list = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "lbpsim — local-branch-predictor repair simulator\n"
+        "\n"
+        "  --list                     print categories and named "
+        "workloads\n"
+        "  --workload <Category:N>    simulate one workload (e.g. "
+        "Server:0)\n"
+        "  --suite <N|all>            simulate N suite workloads "
+        "(category-proportional)\n"
+        "  --scheme <name>            baseline | perfect | no-repair | "
+        "retire-update |\n"
+        "                             backward-walk | snapshot | "
+        "forward-walk |\n"
+        "                             limited-pc | multi-stage | "
+        "future-file\n"
+        "  --ports <M-N-P>            OBQ/SQ entries, read ports, BHT "
+        "write ports\n"
+        "  --coalesce                 enable OBQ entry merging\n"
+        "  --limited-m <M>            PCs repaired by limited-pc\n"
+        "  --loop <64|128|256>        CBPw-Loop BHT/PT entries\n"
+        "  --tage <7|9|57>            TAGE configuration (KB)\n"
+        "  --warmup <N> --instr <N>   instruction budgets\n"
+        "  --csv <path>               write per-workload results as "
+        "CSV\n");
+}
+
+std::optional<RepairKind>
+parseScheme(const std::string &s)
+{
+    const struct
+    {
+        const char *name;
+        RepairKind kind;
+    } names[] = {
+        {"perfect", RepairKind::Perfect},
+        {"no-repair", RepairKind::NoRepair},
+        {"retire-update", RepairKind::RetireUpdate},
+        {"backward-walk", RepairKind::BackwardWalk},
+        {"snapshot", RepairKind::Snapshot},
+        {"forward-walk", RepairKind::ForwardWalk},
+        {"limited-pc", RepairKind::LimitedPc},
+        {"multi-stage", RepairKind::MultiStage},
+        {"future-file", RepairKind::FutureFile},
+    };
+    for (const auto &n : names)
+        if (s == n.name)
+            return n.kind;
+    return std::nullopt;
+}
+
+bool
+parseOptions(int argc, char **argv, Options &opt)
+{
+    const auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else if (a == "--list") {
+            opt.list = true;
+        } else if (a == "--workload") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            const char *colon = std::strchr(v, ':');
+            if (!colon) {
+                std::fprintf(stderr, "--workload wants Category:N\n");
+                return false;
+            }
+            opt.workload = {{std::string(v, colon - v),
+                             static_cast<unsigned>(
+                                 std::atoi(colon + 1))}};
+        } else if (a == "--suite") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            if (std::string(v) == "all")
+                opt.fullSuite = true;
+            else
+                opt.suite = static_cast<unsigned>(std::atoi(v));
+        } else if (a == "--scheme") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.scheme = v;
+        } else if (a == "--ports") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            unsigned m = 0, n = 0, p = 0;
+            if (std::sscanf(v, "%u-%u-%u", &m, &n, &p) != 3) {
+                std::fprintf(stderr, "--ports wants M-N-P\n");
+                return false;
+            }
+            opt.ports = {m, n, p};
+        } else if (a == "--coalesce") {
+            opt.coalesce = true;
+        } else if (a == "--limited-m") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.limitedM = static_cast<unsigned>(std::atoi(v));
+        } else if (a == "--loop") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.loopEntries = static_cast<unsigned>(std::atoi(v));
+        } else if (a == "--tage") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.tageKB = static_cast<unsigned>(std::atoi(v));
+        } else if (a == "--warmup") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.warmup = std::strtoull(v, nullptr, 10);
+        } else if (a == "--instr") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.instrs = std::strtoull(v, nullptr, 10);
+        } else if (a == "--csv") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.csvPath = v;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage();
+            return false;
+        }
+    }
+    return true;
+}
+
+SimConfig
+makeConfig(const Options &opt)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = opt.warmup;
+    cfg.measureInstrs = opt.instrs;
+    switch (opt.tageKB) {
+      case 7: cfg.tage = TageConfig::kb7(); break;
+      case 9: cfg.tage = TageConfig::kb9(); break;
+      case 57: cfg.tage = TageConfig::kb57(); break;
+      default:
+        std::fprintf(stderr, "--tage must be 7, 9 or 57\n");
+        std::exit(1);
+    }
+    if (opt.scheme != "baseline") {
+        const auto kind = parseScheme(opt.scheme);
+        if (!kind) {
+            std::fprintf(stderr, "unknown scheme %s\n",
+                         opt.scheme.c_str());
+            std::exit(1);
+        }
+        cfg.useLocal = true;
+        cfg.repair.kind = *kind;
+        cfg.repair.ports = opt.ports;
+        cfg.repair.coalesce = opt.coalesce;
+        cfg.repair.limitedM = opt.limitedM;
+        switch (opt.loopEntries) {
+          case 64: cfg.repair.loop = LoopConfig::entries64(); break;
+          case 128: cfg.repair.loop = LoopConfig::entries128(); break;
+          case 256: cfg.repair.loop = LoopConfig::entries256(); break;
+          default:
+            std::fprintf(stderr, "--loop must be 64, 128 or 256\n");
+            std::exit(1);
+        }
+    }
+    return cfg;
+}
+
+void
+printRun(const RunResult &r)
+{
+    std::printf("%-22s %-9s IPC %6.3f  MPKI %6.2f  misp %7llu  "
+                "overrides %7llu (%5.1f%% ok)  repairs %6llu\n",
+                r.workload.c_str(), r.category.c_str(), r.ipc, r.mpki,
+                static_cast<unsigned long long>(r.stats.mispredicts),
+                static_cast<unsigned long long>(r.overrides),
+                r.overrides ? 100.0 * r.overridesCorrect / r.overrides
+                            : 0.0,
+                static_cast<unsigned long long>(r.repairs));
+}
+
+void
+writeCsv(const std::string &path, const SuiteResult &res)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    out << "workload,category,ipc,mpki,mispredicts,instructions,"
+           "cycles,overrides,overrides_correct,repairs,"
+           "early_resteers\n";
+    for (const RunResult &r : res.runs) {
+        out << r.workload << ',' << r.category << ',' << r.ipc << ','
+            << r.mpki << ',' << r.stats.mispredicts << ','
+            << r.stats.retiredInstrs << ',' << r.stats.cycles << ','
+            << r.overrides << ',' << r.overridesCorrect << ','
+            << r.repairs << ',' << r.earlyResteers << '\n';
+    }
+    std::printf("wrote %zu rows to %s\n", res.runs.size(),
+                path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseOptions(argc, argv, opt))
+        return 1;
+
+    if (opt.list) {
+        std::printf("categories (Table 1):\n");
+        for (std::size_t i = 0; i < categoryProfiles().size(); ++i) {
+            const auto &p = categoryProfiles()[i];
+            std::printf("  [%zu] %-10s %u workloads\n", i,
+                        p.name.c_str(), p.count);
+        }
+        std::printf("\nusage: --workload <Category:N> or --suite "
+                    "<N|all>\n");
+        return 0;
+    }
+
+    const SimConfig cfg = makeConfig(opt);
+
+    if (opt.workload) {
+        const auto &[cat_name, idx] = *opt.workload;
+        const CategoryProfile *prof = nullptr;
+        for (const auto &p : categoryProfiles())
+            if (p.name == cat_name)
+                prof = &p;
+        if (!prof) {
+            std::fprintf(stderr, "unknown category %s (try --list)\n",
+                         cat_name.c_str());
+            return 1;
+        }
+        if (idx >= prof->count) {
+            std::fprintf(stderr, "%s has only %u workloads\n",
+                         cat_name.c_str(), prof->count);
+            return 1;
+        }
+        const Program prog =
+            buildWorkload(*prof, idx, SuiteOptions{}.seed);
+        printRun(runOne(prog, cfg));
+        return 0;
+    }
+
+    if (opt.suite == 0 && !opt.fullSuite) {
+        usage();
+        return 1;
+    }
+
+    SuiteOptions sopts;
+    sopts.maxWorkloads = opt.fullSuite ? 0 : opt.suite;
+    const auto suite = buildSuite(sopts);
+    std::printf("running %zu workloads, scheme=%s ...\n", suite.size(),
+                opt.scheme.c_str());
+    const SuiteResult res = runSuite(suite, cfg);
+    for (const RunResult &r : res.runs)
+        printRun(r);
+
+    // Aggregate footer.
+    std::uint64_t misp = 0, instr = 0, cyc = 0;
+    for (const RunResult &r : res.runs) {
+        misp += r.stats.mispredicts;
+        instr += r.stats.retiredInstrs;
+        cyc += r.stats.cycles;
+    }
+    std::printf("\naggregate: MPKI %.2f, IPC %.3f over %llu "
+                "instructions\n",
+                instr ? 1000.0 * misp / instr : 0.0,
+                cyc ? static_cast<double>(instr) / cyc : 0.0,
+                static_cast<unsigned long long>(instr));
+
+    if (!opt.csvPath.empty())
+        writeCsv(opt.csvPath, res);
+    return 0;
+}
