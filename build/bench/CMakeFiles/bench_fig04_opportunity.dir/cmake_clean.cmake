@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_opportunity.dir/bench_fig04_opportunity.cc.o"
+  "CMakeFiles/bench_fig04_opportunity.dir/bench_fig04_opportunity.cc.o.d"
+  "bench_fig04_opportunity"
+  "bench_fig04_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

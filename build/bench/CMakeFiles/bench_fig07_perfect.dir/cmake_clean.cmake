@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_perfect.dir/bench_fig07_perfect.cc.o"
+  "CMakeFiles/bench_fig07_perfect.dir/bench_fig07_perfect.cc.o.d"
+  "bench_fig07_perfect"
+  "bench_fig07_perfect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_repair_counts.dir/bench_fig08_repair_counts.cc.o"
+  "CMakeFiles/bench_fig08_repair_counts.dir/bench_fig08_repair_counts.cc.o.d"
+  "bench_fig08_repair_counts"
+  "bench_fig08_repair_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_repair_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

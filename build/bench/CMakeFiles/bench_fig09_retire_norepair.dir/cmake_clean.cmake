@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_retire_norepair.dir/bench_fig09_retire_norepair.cc.o"
+  "CMakeFiles/bench_fig09_retire_norepair.dir/bench_fig09_retire_norepair.cc.o.d"
+  "bench_fig09_retire_norepair"
+  "bench_fig09_retire_norepair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_retire_norepair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

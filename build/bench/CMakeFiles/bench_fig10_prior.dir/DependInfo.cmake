@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_prior.cc" "bench/CMakeFiles/bench_fig10_prior.dir/bench_fig10_prior.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_prior.dir/bench_fig10_prior.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/lbp_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpu/CMakeFiles/lbp_bpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

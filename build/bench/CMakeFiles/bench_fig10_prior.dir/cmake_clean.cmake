@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prior.dir/bench_fig10_prior.cc.o"
+  "CMakeFiles/bench_fig10_prior.dir/bench_fig10_prior.cc.o.d"
+  "bench_fig10_prior"
+  "bench_fig10_prior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

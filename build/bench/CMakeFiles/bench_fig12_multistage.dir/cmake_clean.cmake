@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_multistage.dir/bench_fig12_multistage.cc.o"
+  "CMakeFiles/bench_fig12_multistage.dir/bench_fig12_multistage.cc.o.d"
+  "bench_fig12_multistage"
+  "bench_fig12_multistage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_multistage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_limited_pc.dir/bench_fig13_limited_pc.cc.o"
+  "CMakeFiles/bench_fig13_limited_pc.dir/bench_fig13_limited_pc.cc.o.d"
+  "bench_fig13_limited_pc"
+  "bench_fig13_limited_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_limited_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

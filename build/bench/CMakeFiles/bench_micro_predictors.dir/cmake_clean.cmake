@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_predictors.dir/bench_micro_predictors.cc.o"
+  "CMakeFiles/bench_micro_predictors.dir/bench_micro_predictors.cc.o.d"
+  "bench_micro_predictors"
+  "bench_micro_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

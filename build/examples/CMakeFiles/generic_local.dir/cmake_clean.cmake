@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_local.dir/generic_local.cpp.o"
+  "CMakeFiles/generic_local.dir/generic_local.cpp.o.d"
+  "generic_local"
+  "generic_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

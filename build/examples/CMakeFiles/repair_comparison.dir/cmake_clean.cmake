@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_comparison.dir/repair_comparison.cpp.o"
+  "CMakeFiles/repair_comparison.dir/repair_comparison.cpp.o.d"
+  "repair_comparison"
+  "repair_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpu/local_two_level.cc" "src/bpu/CMakeFiles/lbp_bpu.dir/local_two_level.cc.o" "gcc" "src/bpu/CMakeFiles/lbp_bpu.dir/local_two_level.cc.o.d"
+  "/root/repo/src/bpu/loop_predictor.cc" "src/bpu/CMakeFiles/lbp_bpu.dir/loop_predictor.cc.o" "gcc" "src/bpu/CMakeFiles/lbp_bpu.dir/loop_predictor.cc.o.d"
+  "/root/repo/src/bpu/tage.cc" "src/bpu/CMakeFiles/lbp_bpu.dir/tage.cc.o" "gcc" "src/bpu/CMakeFiles/lbp_bpu.dir/tage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

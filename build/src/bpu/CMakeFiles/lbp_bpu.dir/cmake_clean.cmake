@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_bpu.dir/local_two_level.cc.o"
+  "CMakeFiles/lbp_bpu.dir/local_two_level.cc.o.d"
+  "CMakeFiles/lbp_bpu.dir/loop_predictor.cc.o"
+  "CMakeFiles/lbp_bpu.dir/loop_predictor.cc.o.d"
+  "CMakeFiles/lbp_bpu.dir/tage.cc.o"
+  "CMakeFiles/lbp_bpu.dir/tage.cc.o.d"
+  "liblbp_bpu.a"
+  "liblbp_bpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_bpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

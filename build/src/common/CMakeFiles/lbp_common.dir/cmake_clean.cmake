@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_common.dir/stats.cc.o"
+  "CMakeFiles/lbp_common.dir/stats.cc.o.d"
+  "liblbp_common.a"
+  "liblbp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

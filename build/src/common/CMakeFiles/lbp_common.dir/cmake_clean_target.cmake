@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbp_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_core.dir/cache.cc.o"
+  "CMakeFiles/lbp_core.dir/cache.cc.o.d"
+  "CMakeFiles/lbp_core.dir/core.cc.o"
+  "CMakeFiles/lbp_core.dir/core.cc.o.d"
+  "liblbp_core.a"
+  "liblbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_repair.dir/obq.cc.o"
+  "CMakeFiles/lbp_repair.dir/obq.cc.o.d"
+  "CMakeFiles/lbp_repair.dir/scheme.cc.o"
+  "CMakeFiles/lbp_repair.dir/scheme.cc.o.d"
+  "CMakeFiles/lbp_repair.dir/schemes.cc.o"
+  "CMakeFiles/lbp_repair.dir/schemes.cc.o.d"
+  "liblbp_repair.a"
+  "liblbp_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

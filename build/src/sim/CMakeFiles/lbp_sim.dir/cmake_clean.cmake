@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_sim.dir/runner.cc.o"
+  "CMakeFiles/lbp_sim.dir/runner.cc.o.d"
+  "liblbp_sim.a"
+  "liblbp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_workload.dir/behavior.cc.o"
+  "CMakeFiles/lbp_workload.dir/behavior.cc.o.d"
+  "CMakeFiles/lbp_workload.dir/builder.cc.o"
+  "CMakeFiles/lbp_workload.dir/builder.cc.o.d"
+  "CMakeFiles/lbp_workload.dir/executor.cc.o"
+  "CMakeFiles/lbp_workload.dir/executor.cc.o.d"
+  "CMakeFiles/lbp_workload.dir/program.cc.o"
+  "CMakeFiles/lbp_workload.dir/program.cc.o.d"
+  "CMakeFiles/lbp_workload.dir/suite.cc.o"
+  "CMakeFiles/lbp_workload.dir/suite.cc.o.d"
+  "liblbp_workload.a"
+  "liblbp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/lbp_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/lbp_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/lbp_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_loop_predictor.cc" "tests/CMakeFiles/lbp_tests.dir/test_loop_predictor.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_loop_predictor.cc.o.d"
+  "/root/repo/tests/test_obq.cc" "tests/CMakeFiles/lbp_tests.dir/test_obq.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_obq.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/lbp_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_schemes.cc" "tests/CMakeFiles/lbp_tests.dir/test_schemes.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_schemes.cc.o.d"
+  "/root/repo/tests/test_tage.cc" "tests/CMakeFiles/lbp_tests.dir/test_tage.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_tage.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/lbp_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/lbp_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lbp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lbp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/lbp_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpu/CMakeFiles/lbp_bpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lbp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lbp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbp_tests.dir/test_common.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_core.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_integration.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_loop_predictor.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_loop_predictor.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_obq.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_obq.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_runner.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_runner.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_schemes.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_schemes.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_tage.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_tage.cc.o.d"
+  "CMakeFiles/lbp_tests.dir/test_workload.cc.o"
+  "CMakeFiles/lbp_tests.dir/test_workload.cc.o.d"
+  "lbp_tests"
+  "lbp_tests.pdb"
+  "lbp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

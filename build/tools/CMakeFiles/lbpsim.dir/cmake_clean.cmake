@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbpsim.dir/lbpsim.cc.o"
+  "CMakeFiles/lbpsim.dir/lbpsim.cc.o.d"
+  "lbpsim"
+  "lbpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
