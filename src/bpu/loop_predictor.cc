@@ -98,8 +98,9 @@ LoopPatternTable::feedback(Addr pc, bool predicted, bool actual)
     if (predicted != actual) {
         // A wrong computed prediction costs confPenalty earned exits.
         way->data.conf = way->data.conf >= confPenalty_
-                             ? way->data.conf - confPenalty_
-                             : 0;
+                             ? static_cast<std::uint8_t>(way->data.conf -
+                                                         confPenalty_)
+                             : static_cast<std::uint8_t>(0);
     } else if (predicted != way->data.sense) {
         // Trust is earned only by correctly-called exits — the hard
         // predictions. Mid-run "continue" calls are trivially right

@@ -65,7 +65,11 @@ class SetAssocTable
     unsigned numEntries() const { return numSets_ * numWays_; }
 
     /** Compute the set index for a pre-hashed key. */
-    unsigned setIndex(std::uint64_t key) const { return key & (numSets_ - 1); }
+    unsigned
+    setIndex(std::uint64_t key) const
+    {
+        return static_cast<unsigned>(key & (numSets_ - 1));
+    }
 
     /** Tag bits for a pre-hashed key (the part above the index). */
     std::uint64_t tagOf(std::uint64_t key) const { return key >> setBits(); }

@@ -22,6 +22,13 @@ CoreStats::delta(const CoreStats &a, const CoreStats &b)
 }
 
 OooCore::OooCore(const Program &prog, const SimConfig &cfg)
+    : OooCore(prog, cfg,
+              cfg.useLocal ? makeRepairScheme(cfg.repair) : nullptr)
+{
+}
+
+OooCore::OooCore(const Program &prog, const SimConfig &cfg,
+                 std::unique_ptr<RepairScheme> scheme)
     : prog_(prog), cfg_(cfg), exec_(prog), mem_(cfg.core.mem),
       tage_(cfg.tage),
       btb_(cfg.core.btbEntries / cfg.core.btbWays, cfg.core.btbWays),
@@ -29,8 +36,16 @@ OooCore::OooCore(const Program &prog, const SimConfig &cfg)
       storeCal_(1u << calLog, 0), ring_(ringSize()),
       trueSeqRing_(1u << trueRingLog, invalidSeq)
 {
-    if (cfg.useLocal)
-        scheme_ = makeRepairScheme(cfg.repair);
+    scheme_ = std::move(scheme);
+#ifdef LBP_AUDIT
+    if (scheme_ && cfg.audit &&
+        SpecStateAuditor::auditableKind(cfg.repair.kind)) {
+        AuditorConfig acfg;
+        acfg.panicOnViolation = cfg.auditPanic;
+        auditor_ = std::make_unique<SpecStateAuditor>(scheme_->local(),
+                                                      acfg);
+    }
+#endif
 }
 
 OooCore::~OooCore() = default;
@@ -47,33 +62,33 @@ OooCore::run(std::uint64_t instructions)
             last_retired = stats_.retiredInstrs;
             last_progress = now_;
         } else if (now_ - last_progress > 100000) {
+            const auto u64 = [](std::uint64_t v) {
+                return static_cast<unsigned long long>(v);
+            };
             std::fprintf(stderr,
                          "deadlock: now=%llu rob=%zu fq=%zu lq=%u sq=%u "
                          "wrongPath=%d stall=%llu pending=%zu replay=%zu\n",
-                         (unsigned long long)now_, rob_.size(),
+                         u64(now_), rob_.size(),
                          fetchQueue_.size(), lqOcc_, sqOcc_,
-                         (int)wrongPath_,
-                         (unsigned long long)fetchStallUntil_,
+                         static_cast<int>(wrongPath_),
+                         u64(fetchStallUntil_),
                          pendingResolve_.size(), replay_.size());
             if (!rob_.empty()) {
                 const DynInst &h = inst(rob_.front());
                 std::fprintf(stderr,
                              "rob head seq=%llu done=%llu cls=%d\n",
-                             (unsigned long long)h.seq,
-                             (unsigned long long)h.doneCycle,
-                             (int)h.cls);
+                             u64(h.seq), u64(h.doneCycle),
+                             static_cast<int>(h.cls));
             }
             if (divergeSeq_ != invalidSeq) {
                 const DynInst &d = inst(divergeSeq_);
                 std::fprintf(stderr,
                              "diverge seq=%llu slotseq=%llu misp=%d "
                              "done=%llu fetch=%llu nextSeq=%llu\n",
-                             (unsigned long long)divergeSeq_,
-                             (unsigned long long)d.seq,
-                             (int)d.mispredicted,
-                             (unsigned long long)d.doneCycle,
-                             (unsigned long long)d.fetchCycle,
-                             (unsigned long long)nextSeq_);
+                             u64(divergeSeq_), u64(d.seq),
+                             static_cast<int>(d.mispredicted),
+                             u64(d.doneCycle), u64(d.fetchCycle),
+                             u64(nextSeq_));
             }
             lbp_panic("core deadlock: no retirement in 100k cycles");
         }
@@ -122,6 +137,10 @@ OooCore::retireStage()
         }
         if (di.isCond()) {
             ++stats_.retiredCond;
+#ifdef LBP_AUDIT
+            if (auditor_)
+                auditor_->onRetire(di);
+#endif
             if (scheme_)
                 scheme_->atRetire(di);
             tage_.train(di.pc, di.actualDir, di.br.tage);
@@ -157,8 +176,20 @@ OooCore::doFlush(DynInst &br)
 
     // Local-predictor repair runs against the pre-squash OBQ contents.
     if (scheme_) {
+#ifdef LBP_AUDIT
+        const std::uint64_t pre_uncovered =
+            scheme_->stats().uncheckpointedMispredicts;
+#endif
         scheme_->atMispredict(br, now_);
         scheme_->atSquash(br.seq, br);
+#ifdef LBP_AUDIT
+        if (auditor_) {
+            const bool covered =
+                scheme_->stats().uncheckpointedMispredicts ==
+                pre_uncovered;
+            auditor_->onRecovery(br, scheme_->local(), covered);
+        }
+#endif
     }
 
     // O(1) global-state repair: restore the checkpoint taken before
@@ -455,6 +486,10 @@ OooCore::fetchStage()
             if (scheme_) {
                 final_dir =
                     scheme_->atPredict(di, tage_dir, now_).finalDir;
+#ifdef LBP_AUDIT
+                if (auditor_)
+                    auditor_->onPredict(di);
+#endif
             } else {
                 di.br.tageDir = tage_dir;
                 di.br.finalPred = tage_dir;

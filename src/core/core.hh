@@ -40,6 +40,10 @@
 #include "workload/executor.hh"
 #include "workload/program.hh"
 
+#ifdef LBP_AUDIT
+#include "verify/auditor.hh"
+#endif
+
 namespace lbp {
 
 /** Pipeline geometry (Table 2 defaults). */
@@ -74,6 +78,13 @@ struct SimConfig
     RepairConfig repair{};
     std::uint64_t warmupInstrs = 40000;
     std::uint64_t measureInstrs = 60000;
+    /**
+     * Attach the speculative-state invariant auditor to auditable
+     * repair schemes. Only honored in LBP_AUDIT=ON builds; the hooks
+     * do not exist otherwise.
+     */
+    bool audit = true;
+    bool auditPanic = false;  ///< abort on the first audit violation
 };
 
 /** Plain counters; snapshot-and-subtract for warm-up exclusion. */
@@ -117,6 +128,16 @@ class OooCore
 {
   public:
     OooCore(const Program &prog, const SimConfig &cfg);
+
+    /**
+     * Construct with an externally-built repair scheme instead of the
+     * one cfg.repair describes (cfg.repair should still describe it —
+     * the auditor keys its applicability off cfg.repair.kind). Lets
+     * tests inject instrumented or deliberately-broken schemes.
+     */
+    OooCore(const Program &prog, const SimConfig &cfg,
+            std::unique_ptr<RepairScheme> scheme);
+
     ~OooCore();
 
     /** Simulate until @p instructions more have retired. */
@@ -127,6 +148,15 @@ class OooCore
     RepairScheme *scheme() { return scheme_.get(); }
     const MemoryHierarchy &mem() const { return mem_; }
     Cycle now() const { return now_; }
+
+#ifdef LBP_AUDIT
+    /** Invariant-auditor counters; nullptr when no auditor attached. */
+    const AuditorStats *
+    auditorStats() const
+    {
+        return auditor_ ? &auditor_->stats() : nullptr;
+    }
+#endif
 
   private:
     struct Replayed
@@ -164,6 +194,9 @@ class OooCore
     MemoryHierarchy mem_;
     TagePredictor tage_;
     std::unique_ptr<RepairScheme> scheme_;
+#ifdef LBP_AUDIT
+    std::unique_ptr<SpecStateAuditor> auditor_;
+#endif
     SetAssocTable<char> btb_;
 
     // Fetch state.

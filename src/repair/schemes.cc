@@ -350,7 +350,7 @@ SnapshotScheme::storageKB() const
 {
     // Each snapshot stores every BHT entry's state+tag (~13+8 bits).
     const double bits_per_snap = lp_->bhtEntries() * 21.0;
-    return ring_.size() * bits_per_snap / 8192.0 +
+    return static_cast<double>(ring_.size()) * bits_per_snap / 8192.0 +
            robEntriesForStorage * 6.0 / 8192.0;
 }
 
@@ -605,7 +605,7 @@ FutureFileScheme::storageKB() const
 {
     // Same 76-bit entries as the OBQ, plus the comparators' cost is
     // power, not storage.
-    return ring_.size() * 76.0 / 8192.0;
+    return static_cast<double>(ring_.size()) * 76.0 / 8192.0;
 }
 
 // ---------------------------------------------------------------------

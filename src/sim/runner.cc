@@ -27,20 +27,43 @@ runOne(const Program &prog, const SimConfig &cfg)
     r.mpki = window.mpki();
     r.tageKB = core.tage().storageKB();
 
+    const MemoryHierarchy &mem = core.mem();
+    for (const Cache *c :
+         {&mem.l1i(), &mem.l1d(), &mem.l2(), &mem.llc()}) {
+        r.cacheAccesses += c->stats().accesses;
+        r.cacheMisses += c->stats().misses;
+        r.cachePrefetchFills += c->stats().prefetchFills;
+    }
+
     if (RepairScheme *scheme = core.scheme()) {
         const RepairStats &ss = scheme->stats();
         r.overrides = ss.overrides;
         r.overridesCorrect = ss.overridesCorrect;
         r.repairs = ss.repairsTriggered;
+        r.repairWrites = ss.repairWrites;
         r.earlyResteers = ss.earlyResteers;
+        r.earlyResteersWrong = ss.earlyResteersWrong;
         r.uncheckpointedMispredicts = ss.uncheckpointedMispredicts;
+        r.deniedPredictions = ss.deniedPredictions;
+        r.skippedSpecUpdates = ss.skippedSpecUpdates;
         r.avgRepairsNeeded = ss.repairsNeeded.mean();
         r.maxRepairsNeeded = ss.repairsNeeded.max();
+        r.avgWalkLength = ss.walkLength.mean();
         r.avgRepairWrites = ss.writesPerRepair.mean();
         r.avgRepairCycles = ss.repairCycles.mean();
         r.localKB = scheme->localStorageKB();
         r.repairKB = scheme->storageKB();
     }
+#ifdef LBP_AUDIT
+    if (const AuditorStats *as = core.auditorStats()) {
+        r.auditChecks = as->recoveryChecks + as->retireChecks;
+        r.auditViolations =
+            as->recoveryViolations + as->retireViolations;
+        r.auditResyncs = as->resyncs;
+        r.auditSkipped = as->skipped;
+        r.auditUncovered = as->uncoveredRecoveries;
+    }
+#endif
     return r;
 }
 
@@ -144,8 +167,12 @@ mpkiReductionPct(const SuiteResult &base, const SuiteResult &test)
         tm += test.runs[i].stats.mispredicts;
         ti += test.runs[i].stats.retiredInstrs;
     }
-    const double b = bi ? 1000.0 * static_cast<double>(bm) / bi : 0.0;
-    const double t = ti ? 1000.0 * static_cast<double>(tm) / ti : 0.0;
+    const double b =
+        bi ? 1000.0 * static_cast<double>(bm) / static_cast<double>(bi)
+           : 0.0;
+    const double t =
+        ti ? 1000.0 * static_cast<double>(tm) / static_cast<double>(ti)
+           : 0.0;
     return b > 0.0 ? 100.0 * (b - t) / b : 0.0;
 }
 

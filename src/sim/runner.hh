@@ -32,12 +32,30 @@ struct RunResult
     std::uint64_t overrides = 0;
     std::uint64_t overridesCorrect = 0;
     std::uint64_t repairs = 0;
+    std::uint64_t repairWrites = 0;
     std::uint64_t earlyResteers = 0;
+    std::uint64_t earlyResteersWrong = 0;
     std::uint64_t uncheckpointedMispredicts = 0;
+    std::uint64_t deniedPredictions = 0;
+    std::uint64_t skippedSpecUpdates = 0;
     double avgRepairsNeeded = 0.0;
     std::uint64_t maxRepairsNeeded = 0;
+    double avgWalkLength = 0.0;
     double avgRepairWrites = 0.0;
     double avgRepairCycles = 0.0;
+
+    // Invariant-auditor outcome (LBP_AUDIT builds with an auditable
+    // scheme; all-zero otherwise).
+    std::uint64_t auditChecks = 0;
+    std::uint64_t auditViolations = 0;
+    std::uint64_t auditResyncs = 0;
+    std::uint64_t auditSkipped = 0;
+    std::uint64_t auditUncovered = 0;
+
+    // Cache-hierarchy totals (all levels, whole run).
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cachePrefetchFills = 0;
 
     // Storage accounting for Table 3.
     double tageKB = 0.0;

@@ -458,7 +458,7 @@ buildSuite(const SuiteOptions &opts)
             for (std::size_t c = 0; c < profiles.size(); ++c) {
                 const double share =
                     static_cast<double>(profiles[c].count) /
-                    slots.size() * cap;
+                    static_cast<double>(slots.size()) * cap;
                 const double deficit = share - quota[c];
                 if (deficit > best_deficit &&
                     quota[c] < profiles[c].count) {

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The speculative-state invariant auditor, tested from both sides:
+ * positive (a correct walk scheme runs silent — non-zero checks, zero
+ * violations) and negative (injected BHT corruption and a
+ * deliberately-broken repair scheme are flagged). The negative tests
+ * are the auditor's own acceptance test: a checker that cannot catch a
+ * seeded bug is worse than no checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "bpu/loop_predictor.hh"
+#include "repair/schemes.hh"
+#include "verify/auditor.hh"
+
+#ifdef LBP_AUDIT
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+#endif
+
+using namespace lbp;
+
+namespace {
+
+RepairConfig
+walkConfig(RepairKind kind, RepairPorts ports = {32, 4, 2})
+{
+    RepairConfig cfg;
+    cfg.kind = kind;
+    cfg.ports = ports;
+    cfg.localKind = LocalKind::CbpwLoop;
+    cfg.loop = LoopConfig::entries128();
+    return cfg;
+}
+
+/**
+ * Drives a real scheme and the auditor side by side, exactly as
+ * OooCore wires them under LBP_AUDIT.
+ */
+class AuditDriver
+{
+  public:
+    explicit AuditDriver(const RepairConfig &cfg,
+                         const AuditorConfig &acfg = {})
+        : scheme_(makeRepairScheme(cfg)),
+          auditor_(scheme_->local(), acfg)
+    {
+    }
+
+    RepairScheme &scheme() { return *scheme_; }
+    LocalPredictor &lp() { return scheme_->local(); }
+    SpecStateAuditor &auditor() { return auditor_; }
+    const AuditorStats &astats() const { return auditor_.stats(); }
+
+    DynInst &
+    predict(Addr pc, bool tage_dir, bool actual,
+            bool wrong_path = false)
+    {
+        insts_.emplace_back();
+        DynInst &di = insts_.back();
+        di.seq = seq_++;
+        di.pc = pc;
+        di.cls = InstClass::CondBranch;
+        di.wrongPath = wrong_path;
+        di.actualDir = actual;
+        scheme_->atPredict(di, tage_dir, now_);
+        auditor_.onPredict(di);
+        if (!wrong_path)
+            scheme_->atTruePathFetch(di);
+        return di;
+    }
+
+    void
+    mispredict(DynInst &di)
+    {
+        const std::uint64_t pre =
+            scheme_->stats().uncheckpointedMispredicts;
+        scheme_->atMispredict(di, now_);
+        scheme_->atSquash(di.seq, di);
+        auditor_.onRecovery(
+            di, scheme_->local(),
+            scheme_->stats().uncheckpointedMispredicts == pre);
+    }
+
+    void
+    retire(DynInst &di)
+    {
+        auditor_.onRetire(di);
+        scheme_->atRetire(di);
+    }
+
+    void advanceTime(Cycle c) { now_ += c; }
+
+  private:
+    std::unique_ptr<RepairScheme> scheme_;
+    SpecStateAuditor auditor_;
+    std::deque<DynInst> insts_;
+    InstSeq seq_ = 0;
+    Cycle now_ = 100;
+};
+
+constexpr Addr pcA = 0x1000;
+constexpr Addr pcB = 0x2000;
+
+} // namespace
+
+TEST(Auditor, AuditableKinds)
+{
+    EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::BackwardWalk));
+    EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::ForwardWalk));
+    EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::Snapshot));
+    EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::Perfect));
+    EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::NoRepair));
+    EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::RetireUpdate));
+    EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::MultiStage));
+}
+
+TEST(Auditor, CleanRunIsSilentWithNonZeroChecks)
+{
+    AuditDriver d(walkConfig(RepairKind::BackwardWalk));
+
+    // A few true-path iterations of two PCs, each retired in order.
+    std::deque<DynInst *> inflight;
+    for (int i = 0; i < 6; ++i) {
+        inflight.push_back(&d.predict(pcA, true, true));
+        inflight.push_back(&d.predict(pcB, false, false));
+        d.advanceTime(1);
+    }
+    while (!inflight.empty()) {
+        d.retire(*inflight.front());
+        inflight.pop_front();
+    }
+    EXPECT_GT(d.astats().retireChecks, 0u);
+    EXPECT_EQ(d.astats().violations(), 0u);
+}
+
+TEST(Auditor, CorrectRepairPassesRecoveryCheck)
+{
+    AuditDriver d(walkConfig(RepairKind::BackwardWalk));
+
+    // Warm the BHT on the true path.
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    // A mispredicted branch followed by wrong-path pollution of both
+    // PCs, then recovery: the walk must restore both and the auditor
+    // must verify it did (checks > 0, violations == 0).
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.predict(pcA, true, true, /*wrong_path=*/true);
+    d.advanceTime(5);
+    d.mispredict(cause);
+
+    EXPECT_GT(d.astats().recoveryChecks, 0u);
+    EXPECT_EQ(d.astats().recoveryViolations, 0u);
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+    EXPECT_EQ(d.astats().violations(), 0u);
+}
+
+TEST(Auditor, InjectedCorruptionAtRecoveryIsFlagged)
+{
+    AuditDriver d(walkConfig(RepairKind::BackwardWalk));
+
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.advanceTime(5);
+
+    // Simulate a buggy repair: run the real walk, then corrupt the
+    // repaired entry before the auditor's cross-check.
+    const std::uint64_t pre =
+        d.scheme().stats().uncheckpointedMispredicts;
+    d.scheme().atMispredict(cause, 105);
+    d.scheme().atSquash(cause.seq, cause);
+    d.lp().writeState(pcB, LoopState::make(999, true));
+    d.auditor().onRecovery(
+        cause, d.lp(),
+        d.scheme().stats().uncheckpointedMispredicts == pre);
+
+    EXPECT_GE(d.astats().recoveryViolations, 1u);
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+}
+
+TEST(Auditor, InjectedCorruptionAtRetireIsFlagged)
+{
+    AuditDriver d(walkConfig(RepairKind::BackwardWalk));
+
+    std::deque<DynInst *> inflight;
+    for (int i = 0; i < 4; ++i)
+        inflight.push_back(&d.predict(pcA, true, true));
+
+    // Corrupt the live BHT entry mid-flight (no recovery event to
+    // declare it): the next prediction observes the corrupt state and
+    // the golden chain catches the discontinuity at its retire.
+    d.lp().writeState(pcA, LoopState::make(777, false));
+    inflight.push_back(&d.predict(pcA, true, true));
+
+    while (!inflight.empty()) {
+        d.retire(*inflight.front());
+        inflight.pop_front();
+    }
+    EXPECT_GE(d.astats().retireViolations, 1u);
+}
+
+TEST(Auditor, ObqOverflowIsDeclaredNotFlagged)
+{
+    // Two OBQ entries: the third checkpointed branch overflows. The
+    // scheme declares the gap; the auditor must count it as uncovered
+    // or skipped rather than as a violation.
+    AuditDriver d(walkConfig(RepairKind::BackwardWalk, {2, 4, 2}));
+
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.predict(pcA, true, true, /*wrong_path=*/true);
+    d.predict(pcB, true, false, /*wrong_path=*/true);
+    d.advanceTime(5);
+    d.mispredict(cause);
+
+    EXPECT_EQ(d.astats().violations(), 0u);
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+    EXPECT_EQ(d.astats().violations(), 0u);
+}
+
+#ifdef LBP_AUDIT
+
+namespace {
+
+/**
+ * A deliberately-broken backward walk: claims every recovery is
+ * covered but never rewrites the BHT. The paper's point is that this
+ * failure mode does not crash — it just silently corrupts speculative
+ * state. The end-to-end negative test proves the auditor catches it
+ * on the real pipeline.
+ */
+class BrokenWalkScheme : public BackwardWalkScheme
+{
+  public:
+    BrokenWalkScheme(std::unique_ptr<LocalPredictor> lp,
+                     const RepairConfig &cfg)
+        : BackwardWalkScheme(std::move(lp), cfg)
+    {
+    }
+
+    void
+    atMispredict(DynInst &di, Cycle now) override
+    {
+        // Pollution accounting only; no repair, no declared gap.
+        RepairScheme::atMispredict(di, now);
+    }
+
+    const char *name() const override { return "broken-walk"; }
+};
+
+} // namespace
+
+TEST(AuditorIntegration, RealPipelineRunsClean)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = 20000;
+    cfg.measureInstrs = 40000;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::BackwardWalk;
+
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    const RunResult r = runOne(prog, cfg);
+    EXPECT_GT(r.auditChecks, 0u)
+        << "the auditor must actually check something";
+    EXPECT_EQ(r.auditViolations, 0u);
+}
+
+TEST(AuditorIntegration, BrokenRepairSchemeIsDetected)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = 20000;
+    cfg.measureInstrs = 40000;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::BackwardWalk;
+
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    OooCore core(prog, cfg,
+                 std::make_unique<BrokenWalkScheme>(
+                     makeLocalPredictor(cfg.repair), cfg.repair));
+    core.run(cfg.warmupInstrs + cfg.measureInstrs);
+
+    const AuditorStats *as = core.auditorStats();
+    ASSERT_NE(as, nullptr);
+    EXPECT_GT(as->violations(), 0u)
+        << "a repair scheme that never repairs must be flagged";
+}
+
+#else
+
+TEST(AuditorIntegration, DISABLED_RequiresLbpAuditBuild) {}
+
+#endif // LBP_AUDIT

@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Domain-specific lint for the lbp simulator tree.
+
+Rules (each finding is printed as ``rule:file:line: message``):
+
+  predictor-repair-interface
+      Every class deriving from LocalPredictor that performs
+      predict-time speculative updates (declares ``specUpdate``) must
+      also declare the full checkpoint/repair interface the schemes in
+      src/repair/scheme.hh rely on. A predictor without it silently
+      opts out of misprediction repair — the exact bug class the paper
+      studies.
+
+  no-raw-assert / no-raw-random / no-raw-time
+      src/ must use lbp_assert (common/logging.hh) instead of assert,
+      and the seeded deterministic generators in common/random.hh
+      instead of rand()/srand()/time()/<random>/<ctime>. Wall-clock or
+      libc randomness breaks run-to-run reproducibility of the
+      simulations.
+
+  stats-counter-reported
+      Every counter field registered in a ``*Stats`` struct in src/
+      must be referenced by the reporting layer (src/sim/, tools/,
+      bench/). An unreported counter is dead weight at best and a
+      silently-dropped result at worst.
+
+  include-guard / no-parent-include
+      Headers guard with LBP_<DIR>_<FILE>_HH matching their path, and
+      project includes are rooted at src/ (no "../" escapes).
+
+Usage:
+    lbp_lint.py <repo_root>            lint <repo_root>/src
+    lbp_lint.py --self-test <repo_root>
+        run against tools/lint_fixtures/ and verify every seeded
+        violation is caught and the clean fixture stays clean
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPAIR_INTERFACE = [
+    "readState",
+    "writeState",
+    "advanceState",
+    "invalidateEntry",
+    "setAllRepairBits",
+    "testClearRepairBit",
+    "snapshotBht",
+    "restoreBht",
+]
+
+REPORTING_DIRS = ["src/sim", "tools", "bench"]
+
+CPP_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp", ".h"}
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.rule}:{self.path}:{self.line}: {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals. Length-preserving:
+    every non-newline character is replaced by a space, so offsets and
+    line numbers in the stripped text match the original."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.extend(ch if ch == "\n" else " " for ch in text[i:j + 2])
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append(" ")
+                    i += 1
+                    if i < n:
+                        out.append(" " if text[i] != "\n" else "\n")
+                        i += 1
+                else:
+                    out.append(" " if text[i] != "\n" else "\n")
+                    i += 1
+            if i < n:
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def iter_source_files(root):
+    for path in sorted(root.rglob("*")):
+        if path.suffix in CPP_SUFFIXES and path.is_file():
+            yield path
+
+
+def class_bodies(text):
+    """Yield (name, bases, body, line) for each class/struct with an
+    inheritance list. Input must already be comment-stripped."""
+    pattern = re.compile(
+        r"\b(?:class|struct)\s+(\w+)\s*(?:final\s*)?:\s*([^{;]+)\{")
+    for m in pattern.finditer(text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        yield m.group(1), m.group(2), text[m.end():i - 1], \
+            line_of(text, m.start())
+
+
+# ---------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------
+
+def check_predictor_interface(path, stripped, findings):
+    for name, bases, body, line in class_bodies(stripped):
+        if "LocalPredictor" not in bases:
+            continue
+        if not re.search(r"\bspecUpdate\s*\(", body):
+            continue
+        missing = [fn for fn in REPAIR_INTERFACE
+                   if not re.search(r"\b%s\s*\(" % fn, body)]
+        if missing:
+            findings.append(Finding(
+                "predictor-repair-interface", path, line,
+                f"{name} performs speculative updates but does not "
+                f"declare the repair interface "
+                f"(missing: {', '.join(missing)})"))
+
+
+BANNED_CALLS = [
+    ("no-raw-assert", re.compile(r"(?<![\w:])assert\s*\("),
+     "use lbp_assert (common/logging.hh) instead of assert"),
+    ("no-raw-random", re.compile(r"(?<![\w:])s?rand\s*\("),
+     "use common/random.hh instead of rand()/srand()"),
+    ("no-raw-random", re.compile(r"\bstd\s*::\s*s?rand\b"),
+     "use common/random.hh instead of std::rand/std::srand"),
+    ("no-raw-random", re.compile(r"#\s*include\s*<random>"),
+     "use common/random.hh instead of <random>"),
+    ("no-raw-time", re.compile(r"(?<![\w:])time\s*\("),
+     "wall-clock time breaks determinism; seed explicitly"),
+    ("no-raw-time", re.compile(r"#\s*include\s*<ctime>"),
+     "wall-clock time breaks determinism; drop <ctime>"),
+    ("no-raw-time",
+     re.compile(r"\b(?:system|steady|high_resolution)_clock\b"),
+     "wall-clock time breaks determinism; seed explicitly"),
+]
+
+
+def check_banned_calls(path, stripped, findings):
+    for rule, pattern, message in BANNED_CALLS:
+        for m in pattern.finditer(stripped):
+            findings.append(Finding(
+                rule, path, line_of(stripped, m.start()), message))
+
+
+STATS_FIELD = re.compile(
+    r"\b(?:std::uint64_t|Distribution)\s+(\w+)\s*[=;]")
+
+
+def collect_stats_fields(src_root):
+    """(struct, field, path, line) for every counter field of a *Stats
+    struct declared under src/."""
+    fields = []
+    for path in iter_source_files(src_root):
+        if path.suffix not in {".hh", ".hpp", ".h"}:
+            continue
+        stripped = strip_comments_and_strings(
+            path.read_text(encoding="utf-8"))
+        pattern = re.compile(r"\bstruct\s+(\w*Stats)\s*\{")
+        for m in pattern.finditer(stripped):
+            depth = 1
+            i = m.end()
+            while i < len(stripped) and depth:
+                if stripped[i] == "{":
+                    depth += 1
+                elif stripped[i] == "}":
+                    depth -= 1
+                i += 1
+            body = stripped[m.end():i - 1]
+            for fm in STATS_FIELD.finditer(body):
+                fields.append((m.group(1), fm.group(1), path,
+                               line_of(stripped, m.end() + fm.start())))
+    return fields
+
+
+def check_stats_reported(repo_root, src_root, findings):
+    corpus = []
+    for rel in REPORTING_DIRS:
+        d = repo_root / rel
+        if not d.is_dir():
+            continue
+        for path in iter_source_files(d):
+            corpus.append(strip_comments_and_strings(
+                path.read_text(encoding="utf-8")))
+    blob = "\n".join(corpus)
+    for struct, field, path, line in collect_stats_fields(src_root):
+        if not re.search(r"\b%s\b" % re.escape(field), blob):
+            findings.append(Finding(
+                "stats-counter-reported", path, line,
+                f"{struct}::{field} is registered but never referenced "
+                f"by the reporting layer ({', '.join(REPORTING_DIRS)})"))
+
+
+GUARD_IFNDEF = re.compile(r"#\s*ifndef\s+(\w+)")
+
+
+def expected_guard(src_root, path):
+    rel = path.relative_to(src_root)
+    parts = [p.upper() for p in rel.parts[:-1]]
+    stem = re.sub(r"[^A-Za-z0-9]", "_", rel.stem).upper()
+    return "_".join(["LBP"] + parts + [stem]) + "_HH"
+
+
+def check_include_hygiene(src_root, path, raw, stripped, findings):
+    if path.suffix in {".hh", ".hpp", ".h"}:
+        m = GUARD_IFNDEF.search(stripped)
+        want = expected_guard(src_root, path)
+        if not m or m.group(1) != want:
+            got = m.group(1) if m else "none"
+            findings.append(Finding(
+                "include-guard", path,
+                line_of(stripped, m.start()) if m else 1,
+                f"include guard should be {want} (found {got})"))
+    # Paths live inside string literals (blanked in the stripped text),
+    # so scan the raw text and use the stripped text only to reject
+    # matches sitting inside comments or strings.
+    for m in re.finditer(r"#\s*include\s*\"(\.\./[^\"]*)\"", raw):
+        if stripped[m.start()] != "#":
+            continue
+        findings.append(Finding(
+            "no-parent-include", path, line_of(raw, m.start()),
+            f"include \"{m.group(1)}\" escapes src/; use a src-rooted "
+            f"path"))
+
+
+# ---------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------
+
+def lint_tree(repo_root, src_root, check_stats=True):
+    findings = []
+    for path in iter_source_files(src_root):
+        raw = path.read_text(encoding="utf-8")
+        stripped = strip_comments_and_strings(raw)
+        check_predictor_interface(path, stripped, findings)
+        check_banned_calls(path, stripped, findings)
+        check_include_hygiene(src_root, path, raw, stripped, findings)
+    if check_stats:
+        check_stats_reported(repo_root, src_root, findings)
+    return findings
+
+
+def self_test(repo_root):
+    fixtures = repo_root / "tools" / "lint_fixtures"
+    if not fixtures.is_dir():
+        print(f"lbp_lint: fixture directory {fixtures} missing")
+        return 1
+
+    findings = lint_tree(repo_root, fixtures, check_stats=False)
+    # The fixture tree has its own tiny reporting layer.
+    blob = strip_comments_and_strings(
+        (fixtures / "reporting.cc").read_text(encoding="utf-8"))
+    for struct, field, path, line in collect_stats_fields(fixtures):
+        if not re.search(r"\b%s\b" % re.escape(field), blob):
+            findings.append(Finding(
+                "stats-counter-reported", path, line,
+                f"{struct}::{field} unreported"))
+
+    by_file = {}
+    for f in findings:
+        by_file.setdefault(Path(f.path).name, set()).add(f.rule)
+
+    expect = {
+        "bad_predictor.hh": {"predictor-repair-interface"},
+        "bad_calls.cc": {"no-raw-assert", "no-raw-random",
+                         "no-raw-time"},
+        "bad_stats.hh": {"stats-counter-reported"},
+        "bad_include.hh": {"include-guard", "no-parent-include"},
+    }
+    ok = True
+    for name, rules in expect.items():
+        got = by_file.get(name, set())
+        for rule in rules:
+            if rule not in got:
+                print(f"lbp_lint self-test: {name} should trigger "
+                      f"{rule} but did not")
+                ok = False
+    for name in ("clean.hh", "reporting.cc"):
+        extra = by_file.get(name, set())
+        if extra:
+            print(f"lbp_lint self-test: {name} should be clean but "
+                  f"triggered {sorted(extra)}")
+            ok = False
+    print("lbp_lint self-test: %s (%d findings across fixtures)" %
+          ("PASS" if ok else "FAIL", len(findings)))
+    return 0 if ok else 1
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--self-test"]
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    repo_root = Path(args[0]).resolve()
+    if "--self-test" in argv:
+        return self_test(repo_root)
+
+    src_root = repo_root / "src"
+    if not src_root.is_dir():
+        print(f"lbp_lint: {src_root} is not a directory")
+        return 2
+    findings = lint_tree(repo_root, src_root)
+    for f in sorted(findings, key=lambda f: (str(f.path), f.line)):
+        print(f)
+    if findings:
+        print(f"lbp_lint: {len(findings)} finding(s)")
+        return 1
+    print("lbp_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -239,6 +239,15 @@ printRun(const RunResult &r)
                 r.overrides ? 100.0 * r.overridesCorrect / r.overrides
                             : 0.0,
                 static_cast<unsigned long long>(r.repairs));
+    if (r.auditChecks || r.auditViolations) {
+        std::printf("  audit: %llu checks, %llu violations, "
+                    "%llu resyncs, %llu skipped, %llu uncovered\n",
+                    static_cast<unsigned long long>(r.auditChecks),
+                    static_cast<unsigned long long>(r.auditViolations),
+                    static_cast<unsigned long long>(r.auditResyncs),
+                    static_cast<unsigned long long>(r.auditSkipped),
+                    static_cast<unsigned long long>(r.auditUncovered));
+    }
 }
 
 void
@@ -250,14 +259,27 @@ writeCsv(const std::string &path, const SuiteResult &res)
         std::exit(1);
     }
     out << "workload,category,ipc,mpki,mispredicts,instructions,"
-           "cycles,overrides,overrides_correct,repairs,"
-           "early_resteers\n";
+           "cycles,retired_cond,fetched,wrong_path_fetched,"
+           "btb_misses,overrides,overrides_correct,repairs,"
+           "repair_writes,early_resteers,early_resteers_wrong,"
+           "uncheckpointed,denied_predictions,skipped_spec_updates,"
+           "avg_walk_length,audit_checks,audit_violations,"
+           "cache_accesses,cache_misses,cache_prefetch_fills\n";
     for (const RunResult &r : res.runs) {
         out << r.workload << ',' << r.category << ',' << r.ipc << ','
             << r.mpki << ',' << r.stats.mispredicts << ','
             << r.stats.retiredInstrs << ',' << r.stats.cycles << ','
-            << r.overrides << ',' << r.overridesCorrect << ','
-            << r.repairs << ',' << r.earlyResteers << '\n';
+            << r.stats.retiredCond << ',' << r.stats.fetchedInstrs
+            << ',' << r.stats.wrongPathFetched << ','
+            << r.stats.btbMisses << ',' << r.overrides << ','
+            << r.overridesCorrect << ',' << r.repairs << ','
+            << r.repairWrites << ',' << r.earlyResteers << ','
+            << r.earlyResteersWrong << ','
+            << r.uncheckpointedMispredicts << ','
+            << r.deniedPredictions << ',' << r.skippedSpecUpdates
+            << ',' << r.avgWalkLength << ',' << r.auditChecks << ','
+            << r.auditViolations << ',' << r.cacheAccesses << ','
+            << r.cacheMisses << ',' << r.cachePrefetchFills << '\n';
     }
     std::printf("wrote %zu rows to %s\n", res.runs.size(),
                 path.c_str());

@@ -1,0 +1,14 @@
+// Seeded violations: raw assert, libc randomness, and wall-clock time.
+// lbp_lint must flag no-raw-assert, no-raw-random, and no-raw-time.
+
+#include <cassert>
+#include <cstdlib>
+#include <ctime>
+
+unsigned
+roll(unsigned sides)
+{
+    assert(sides > 0);
+    srand(static_cast<unsigned>(time(nullptr)));
+    return static_cast<unsigned>(std::rand()) % sides;
+}

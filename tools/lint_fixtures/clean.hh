@@ -1,0 +1,15 @@
+// A clean fixture: correct guard, no banned calls. Mentions of
+// "prediction time (stored below)" and "operand assert(ions)" in
+// comments — and banned tokens inside string literals — must NOT be
+// flagged; the linter strips comments and strings first.
+
+#ifndef LBP_CLEAN_HH
+#define LBP_CLEAN_HH
+
+inline const char *
+bannedWordsInStrings()
+{
+    return "assert( rand( time( <random> <ctime> system_clock";
+}
+
+#endif // LBP_CLEAN_HH

@@ -1,0 +1,10 @@
+// The fixture tree's reporting layer: references reportedEvents (so it
+// passes stats-counter-reported) but not forgottenEvents.
+
+#include <cstdio>
+
+void
+printOrphanStats(unsigned long long reportedEvents)
+{
+    std::printf("reported %llu\n", reportedEvents);
+}
