@@ -17,15 +17,14 @@ main()
 {
     Context ctx = Context::make("Ablations (design-choice studies)");
 
-    const SuiteResult perfect =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::Perfect));
+    const SuiteResult &perfect = ctx.perfect();
     const double perfect_ipc = ipcGainPct(ctx.baseline, perfect);
     std::printf("perfect repair reference: %+0.2f%% IPC\n\n",
                 perfect_ipc);
 
     const auto row = [&](TextTable &t, const std::string &name,
                          const SimConfig &cfg) {
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.run(cfg);
         const double ipc = ipcGainPct(ctx.baseline, res);
         t.addRow({name,
                   fmtPercent(mpkiReductionPct(ctx.baseline, res) / 100.0,
@@ -130,5 +129,5 @@ main()
                     "re-steer; past the alloc-queue entry the design "
                     "stops paying for itself.\n");
     }
-    return 0;
+    return reportThroughput("bench_ablation");
 }

@@ -1,7 +1,16 @@
 /**
  * @file
  * Shared scaffolding for the figure/table benches: suite construction,
- * baseline/perfect caching, scheme config shortcuts, and headers.
+ * baseline/perfect caching, scheme config shortcuts, headers, and
+ * throughput reporting.
+ *
+ * Suite executions go through the process-wide SuiteCache, so the
+ * TAGE-only baseline and the perfect-repair reference — which nearly
+ * every figure needs — are simulated exactly once per bench process no
+ * matter how many tables ask for them, and repeated sweep
+ * configurations cost one simulation each. Simulations fan out across
+ * a ThreadPool (REPRO_JOBS workers, default = hardware concurrency)
+ * with bit-identical results to a serial run.
  */
 
 #ifndef LBP_BENCH_BENCH_COMMON_HH
@@ -11,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "sim/runner.hh"
+#include "sim/suite_cache.hh"
 #include "workload/suite.hh"
 
 namespace lbp::bench {
@@ -43,10 +54,13 @@ struct Context
                     static_cast<unsigned long long>(
                         ctx.env.measureInstrs));
         std::printf("core: 4-wide OOO, 224 ROB, TAGE %.1fKB baseline "
-                    "(Table 2)\n\n",
+                    "(Table 2)\n",
                     ctx.base.tage.storageKB());
+        std::printf("jobs: %u worker(s) (REPRO_JOBS; default = hardware "
+                    "concurrency)\n\n",
+                    resolveJobs(ctx.env.jobs));
 
-        ctx.baseline = runSuite(ctx.suite, ctx.base);
+        ctx.baseline = ctx.run(ctx.base);
         return ctx;
     }
 
@@ -59,6 +73,28 @@ struct Context
         cfg.repair.kind = kind;
         return cfg;
     }
+
+    /**
+     * Simulate the suite under @p cfg through the process-wide
+     * memoization cache; repeated configurations are free. The
+     * reference stays valid for the bench's lifetime.
+     */
+    const SuiteResult &
+    run(const SimConfig &cfg) const
+    {
+        return runSuiteCached(suite, cfg, env.jobs);
+    }
+
+    /**
+     * The perfect-repair reference suite. Cached like every run();
+     * kept as a named helper because almost every figure normalizes
+     * against it.
+     */
+    const SuiteResult &
+    perfect() const
+    {
+        return run(withScheme(RepairKind::Perfect));
+    }
 };
 
 /** Percent of perfect-repair IPC gains a scheme retains. */
@@ -66,6 +102,27 @@ inline double
 retainedPct(double scheme_gain, double perfect_gain)
 {
     return perfect_gain > 0.0 ? 100.0 * scheme_gain / perfect_gain : 0.0;
+}
+
+/**
+ * Print the throughput telemetry accumulated by every runSuite() call
+ * and dump it as machine-readable JSON (REPRO_THROUGHPUT_JSON, default
+ * BENCH_throughput.json). Returns 0 so benches can end with
+ * `return reportThroughput("bench_...");`.
+ */
+inline int
+reportThroughput(const char *bench)
+{
+    std::printf("\n");
+    TelemetryRegistry::process().printSummary(stdout);
+    const SuiteCache::CacheStats cs = SuiteCache::process().stats();
+    std::printf("  suite cache: %llu simulated, %llu memoized\n",
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.hits));
+    const std::string path = throughputJsonPath();
+    if (TelemetryRegistry::process().writeJson(path, bench))
+        std::printf("  wrote %s\n", path.c_str());
+    return 0;
 }
 
 } // namespace lbp::bench

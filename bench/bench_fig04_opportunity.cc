@@ -109,8 +109,8 @@ main()
     }
 
     // No-repair pipeline run.
-    SimConfig norep = ctx.withScheme(RepairKind::NoRepair);
-    const SuiteResult no_repair = runSuite(ctx.suite, norep);
+    const SuiteResult &no_repair =
+        ctx.run(ctx.withScheme(RepairKind::NoRepair));
 
     struct Acc
     {
@@ -167,5 +167,5 @@ main()
     std::printf("paper: ~44%% MPKI reduction opportunity across "
                 "workloads; with no repair almost all of it is lost, "
                 "and MM/BP actually lose performance.\n");
-    return 0;
+    return reportThroughput("bench_fig04_opportunity");
 }

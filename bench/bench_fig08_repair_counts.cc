@@ -20,8 +20,7 @@ main()
     Context ctx = Context::make(
         "Figure 8: BHT repairs required per misprediction");
 
-    const SimConfig cfg = ctx.withScheme(RepairKind::Perfect);
-    const SuiteResult res = runSuite(ctx.suite, cfg);
+    const SuiteResult &res = ctx.perfect();
 
     std::vector<const RunResult *> sorted;
     for (const RunResult &r : res.runs)
@@ -56,5 +55,5 @@ main()
                 sum_avg / n, (unsigned long long)global_max);
     std::printf("paper: average ~5 repairs per misprediction (up to "
                 "~16 for some workloads); worst case 61 writes.\n");
-    return 0;
+    return reportThroughput("bench_fig08_repair_counts");
 }

@@ -18,12 +18,11 @@ main()
     Context ctx = Context::make(
         "Figure 9: update-at-retire and no-repair, per category");
 
-    const SuiteResult perfect =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::Perfect));
-    const SuiteResult retire =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::RetireUpdate));
-    const SuiteResult norep =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::NoRepair));
+    const SuiteResult &perfect = ctx.perfect();
+    const SuiteResult &retire =
+        ctx.run(ctx.withScheme(RepairKind::RetireUpdate));
+    const SuiteResult &norep =
+        ctx.run(ctx.withScheme(RepairKind::NoRepair));
 
     const auto agg_p = aggregateByCategory(ctx.baseline, perfect);
     const auto agg_r = aggregateByCategory(ctx.baseline, retire);
@@ -44,5 +43,5 @@ main()
     std::printf("paper: update-at-retire retains ~41%% of perfect "
                 "gains; no repair retains none, with MM/BP losing "
                 "performance outright.\n");
-    return 0;
+    return reportThroughput("bench_fig09_retire_norepair");
 }

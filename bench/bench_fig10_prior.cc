@@ -18,8 +18,7 @@ main()
     Context ctx = Context::make(
         "Figure 10: backward-walk HF and snapshot repair vs ports");
 
-    const SuiteResult perfect =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::Perfect));
+    const SuiteResult &perfect = ctx.perfect();
     const double perfect_ipc = ipcGainPct(ctx.baseline, perfect);
     std::printf("perfect repair: %+0.2f%% IPC, %+0.1f%% MPKI\n\n",
                 perfect_ipc, mpkiReductionPct(ctx.baseline, perfect));
@@ -35,7 +34,7 @@ main()
         for (const RepairPorts &ports : configs) {
             SimConfig cfg = ctx.withScheme(kind);
             cfg.repair.ports = ports;
-            const SuiteResult res = runSuite(ctx.suite, cfg);
+            const SuiteResult &res = ctx.run(cfg);
             const double ipc = ipcGainPct(ctx.baseline, res);
             t.addRow({repairKindName(kind),
                       std::to_string(ports.entries) + "-" +
@@ -52,5 +51,5 @@ main()
     std::printf("paper: with 64-64-64 both schemes retain most of the "
                 "gains; at realistic ports backward-walk holds ~50%% "
                 "while snapshot (32-8-8) drops well below 50%%.\n");
-    return 0;
+    return reportThroughput("bench_fig10_prior");
 }

@@ -16,8 +16,7 @@ main()
 {
     Context ctx = Context::make("Figure 11: forward-walk HF repair");
 
-    const SuiteResult perfect =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::Perfect));
+    const SuiteResult &perfect = ctx.perfect();
     const double perfect_ipc = ipcGainPct(ctx.baseline, perfect);
     std::printf("perfect repair: %+0.2f%% IPC\n\n", perfect_ipc);
 
@@ -36,7 +35,7 @@ main()
         SimConfig cfg = ctx.withScheme(RepairKind::ForwardWalk);
         cfg.repair.ports = c.ports;
         cfg.repair.coalesce = c.coalesce;
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.run(cfg);
         const double ipc = ipcGainPct(ctx.baseline, res);
         std::string name = "FWD-" + std::to_string(c.ports.entries) +
                            "-" + std::to_string(c.ports.readPorts) +
@@ -54,5 +53,5 @@ main()
     std::printf("paper: FWD-32-4-2 retains 76%% of perfect gains; "
                 "coalescing adds ~3.5%%, reaching 79.5%%. Smaller OBQs "
                 "and fewer ports give correspondingly less.\n");
-    return 0;
+    return reportThroughput("bench_fig11_forward");
 }

@@ -18,15 +18,14 @@ main()
     Context ctx =
         Context::make("Figure 12: multi-stage prediction, split BHT");
 
-    const SuiteResult perfect =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::Perfect));
+    const SuiteResult &perfect = ctx.perfect();
     const double perfect_ipc = ipcGainPct(ctx.baseline, perfect);
 
     TextTable t({"design", "MPKI redn", "IPC gain", "% of perfect",
                  "early resteers/Kmisp"});
 
     const auto addRow = [&](const char *name, const SimConfig &cfg) {
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.run(cfg);
         const double ipc = ipcGainPct(ctx.baseline, res);
         std::uint64_t resteers = 0, misp = 0;
         for (const RunResult &r : res.runs) {
@@ -64,5 +63,5 @@ main()
                 "(re-steer delay + 64-entry tables) but need no extra "
                 "BHT ports for repair; shared vs split PT is a minor "
                 "difference.\n");
-    return 0;
+    return reportThroughput("bench_fig12_multistage");
 }

@@ -17,8 +17,7 @@ main()
 {
     Context ctx = Context::make("Figure 13: limited-PC repair");
 
-    const SuiteResult perfect =
-        runSuite(ctx.suite, ctx.withScheme(RepairKind::Perfect));
+    const SuiteResult &perfect = ctx.perfect();
     const double perfect_ipc = ipcGainPct(ctx.baseline, perfect);
 
     TextTable t({"config", "MPKI redn", "IPC gain", "% of perfect"});
@@ -26,7 +25,7 @@ main()
         SimConfig cfg = ctx.withScheme(RepairKind::LimitedPc);
         cfg.repair.limitedM = m;
         cfg.repair.ports.bhtWritePorts = std::min(m, 4u);
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.run(cfg);
         const double ipc = ipcGainPct(ctx.baseline, res);
         t.addRow({std::to_string(m) + "PC repair",
                   fmtPercent(mpkiReductionPct(ctx.baseline, res) / 100.0,
@@ -38,7 +37,7 @@ main()
         SimConfig cfg = ctx.withScheme(RepairKind::LimitedPc);
         cfg.repair.limitedM = 4;
         cfg.repair.limitedInvalidate = true;
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.run(cfg);
         const double ipc = ipcGainPct(ctx.baseline, res);
         t.addRow({"4PC + invalidate rest",
                   fmtPercent(mpkiReductionPct(ctx.baseline, res) / 100.0,
@@ -50,5 +49,5 @@ main()
     std::printf("paper: 2PC retains 56%% and 4PC 61%% of perfect "
                 "gains; even 2PC beats port-limited backward walk "
                 "because the right PCs get repaired first.\n");
-    return 0;
+    return reportThroughput("bench_fig13_limited_pc");
 }

@@ -25,7 +25,7 @@ main()
     {
         SimConfig big = ctx.base;
         big.tage = TageConfig::kb9();
-        const SuiteResult res = runSuite(ctx.suite, big);
+        const SuiteResult &res = ctx.run(big);
         ta.addRow({"TAGE scaled to ~9KB",
                    fmtDouble(big.tage.storageKB(), 1),
                    fmtPercent(ipcGainPct(ctx.baseline, res) / 100.0,
@@ -35,7 +35,7 @@ main()
         SimConfig cfg = ctx.withScheme(RepairKind::ForwardWalk);
         cfg.repair.ports = {32, 4, 2};
         cfg.repair.coalesce = true;
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.run(cfg);
         ta.addRow({"TAGE7.1 + Loop128 + fwd-walk",
                    fmtDouble(cfg.tage.storageKB() +
                                  res.runs.front().localKB +
@@ -44,8 +44,7 @@ main()
                               2)});
     }
     {
-        SimConfig cfg = ctx.withScheme(RepairKind::Perfect);
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.perfect();
         ta.addRow({"TAGE7.1 + Loop128 (perfect rep.)", "NA",
                    fmtPercent(ipcGainPct(ctx.baseline, res) / 100.0,
                               2)});
@@ -58,7 +57,7 @@ main()
     std::printf("--- 14B: CBPw-Loop on a 57KB TAGE ---\n");
     SimConfig big_base = ctx.base;
     big_base.tage = TageConfig::kb57();
-    const SuiteResult base57 = runSuite(ctx.suite, big_base);
+    const SuiteResult &base57 = ctx.run(big_base);
     std::printf("TAGE57 baseline vs TAGE7: %+0.2f%% IPC, %+0.1f%% MPKI "
                 "redn\n",
                 ipcGainPct(ctx.baseline, base57),
@@ -86,7 +85,7 @@ main()
         cfg.repair.coalesce = row.coalesce;
         if (row.kind == RepairKind::LimitedPc)
             cfg.repair.limitedM = 4;
-        const SuiteResult res = runSuite(ctx.suite, cfg);
+        const SuiteResult &res = ctx.run(cfg);
         tb.addRow({row.name,
                    fmtPercent(mpkiReductionPct(base57, res) / 100.0, 1),
                    fmtPercent(ipcGainPct(base57, res) / 100.0, 2)});
@@ -95,5 +94,5 @@ main()
     std::printf("paper: even on a 57KB TAGE, CBPw-Loop with perfect "
                 "repair improves IPC by 2.7%%, and each repair "
                 "technique keeps most of its efficiency.\n");
-    return 0;
+    return reportThroughput("bench_fig14_sensitivity");
 }

@@ -81,7 +81,7 @@ main()
     }
 
     // Perfect first: everything is normalized against it.
-    const SuiteResult perfect = runSuite(ctx.suite, rows[0].cfg);
+    const SuiteResult &perfect = ctx.run(rows[0].cfg);
     const double perfect_ipc = ipcGainPct(ctx.baseline, perfect);
     const double perfect_mpki = mpkiReductionPct(ctx.baseline, perfect);
 
@@ -91,7 +91,7 @@ main()
                   fmtDouble(ctx.base.tage.storageKB(), 1)});
 
     for (std::size_t i = 1; i < rows.size(); ++i) {
-        const SuiteResult res = runSuite(ctx.suite, rows[i].cfg);
+        const SuiteResult &res = ctx.run(rows[i].cfg);
         const double mpki_redn = mpkiReductionPct(ctx.baseline, res);
         const double ipc_gain = ipcGainPct(ctx.baseline, res);
         const double storage = rows[i].cfg.tage.storageKB() +
@@ -110,5 +110,5 @@ main()
     std::printf("paper (Table 3): NoRepair 0%%, Snapshot 30%%, Retire "
                 "41%%, Backward 52%%, 2PC 56%%, SplitBHT 57%%, 4PC "
                 "61%%, Fwd 77%%, Fwd+coal 79%%, Perfect 100%%\n");
-    return 0;
+    return reportThroughput("bench_table3_summary");
 }

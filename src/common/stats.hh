@@ -71,7 +71,12 @@ class Distribution
     std::uint64_t buckets_[numBuckets] = {};
 };
 
-/** Geometric mean of a list of strictly positive ratios. */
+/**
+ * Geometric mean of a list of strictly positive ratios. Returns 0.0
+ * for an empty list — that is "no data", not a ratio, so gain
+ * computations must guard for emptiness before turning the result
+ * into a percentage (0.0 would read as a -100% gain).
+ */
 double geomean(const std::vector<double> &values);
 
 /** Arithmetic mean; 0 for an empty list. */

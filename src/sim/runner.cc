@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 
 namespace lbp {
 
@@ -67,13 +69,59 @@ runOne(const Program &prog, const SimConfig &cfg)
     return r;
 }
 
-SuiteResult
-runSuite(const std::vector<Program> &suite, const SimConfig &cfg)
+std::string
+configLabel(const SimConfig &cfg)
 {
+    char buf[96];
+    if (!cfg.useLocal) {
+        std::snprintf(buf, sizeof(buf), "tage-%.1fKB",
+                      cfg.tage.storageKB());
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s %u-%u-%u loop%u%s",
+                  repairKindName(cfg.repair.kind),
+                  cfg.repair.ports.entries, cfg.repair.ports.readPorts,
+                  cfg.repair.ports.bhtWritePorts,
+                  cfg.repair.loop.bhtEntries,
+                  cfg.repair.coalesce ? "+merge" : "");
+    return buf;
+}
+
+SuiteResult
+runSuite(const std::vector<Program> &suite, const SimConfig &cfg,
+         unsigned jobs)
+{
+    const unsigned want = resolveJobs(jobs);
+    Stopwatch sw;
+
     SuiteResult res;
-    res.runs.reserve(suite.size());
-    for (const Program &prog : suite)
-        res.runs.push_back(runOne(prog, cfg));
+    res.runs.resize(suite.size());
+    if (want <= 1 || suite.size() <= 1) {
+        for (std::size_t i = 0; i < suite.size(); ++i)
+            res.runs[i] = runOne(suite[i], cfg);
+        res.telemetry.jobs = 1;
+    } else {
+        // Each index is an independent simulation writing only its own
+        // slot, so any claim order yields bit-identical results.
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(want, suite.size())));
+        pool.parallelFor(suite.size(), [&](std::size_t i) {
+            res.runs[i] = runOne(suite[i], cfg);
+        });
+        res.telemetry.jobs = pool.workerCount();
+        res.telemetry.workerBusySeconds = pool.busySeconds();
+    }
+
+    res.telemetry.label = configLabel(cfg);
+    res.telemetry.workloads = suite.size();
+    // True-path instructions simulated: the measurement window per
+    // run's stats plus the warm-up each run retired before it.
+    for (const RunResult &r : res.runs)
+        res.telemetry.simInstrs += r.stats.retiredInstrs;
+    res.telemetry.simInstrs +=
+        static_cast<std::uint64_t>(suite.size()) * cfg.warmupInstrs;
+    res.telemetry.wallSeconds = sw.seconds();
+    TelemetryRegistry::process().record(res.telemetry);
     return res;
 }
 
@@ -150,7 +198,12 @@ aggregateByCategory(const SuiteResult &base, const SuiteResult &test)
             c.mpkiBase > 0.0
                 ? 100.0 * (c.mpkiBase - c.mpkiTest) / c.mpkiBase
                 : 0.0;
-        c.ipcGainPct = 100.0 * (geomean(a.ipcRatios) - 1.0);
+        // A degenerate category (every run at zero IPC) contributes no
+        // ratios; geomean(empty) is 0 and must not read as a -100%
+        // "gain".
+        c.ipcGainPct = a.ipcRatios.empty()
+                           ? 0.0
+                           : 100.0 * (geomean(a.ipcRatios) - 1.0);
         out.push_back(c);
     }
     return out;
@@ -185,7 +238,9 @@ ipcGainPct(const SuiteResult &base, const SuiteResult &test)
     for (std::size_t i = 0; i < base.runs.size(); ++i)
         if (base.runs[i].ipc > 0.0 && test.runs[i].ipc > 0.0)
             ratios.push_back(test.runs[i].ipc / base.runs[i].ipc);
-    return 100.0 * (geomean(ratios) - 1.0);
+    // No comparable pair (empty or all-zero-IPC suites): report "no
+    // gain", not the -100% geomean(empty) would imply.
+    return ratios.empty() ? 0.0 : 100.0 * (geomean(ratios) - 1.0);
 }
 
 std::vector<std::pair<std::string, double>>
@@ -218,6 +273,8 @@ BenchEnv::fromEnvironment()
     if (const char *s = std::getenv("REPRO_WORKLOADS"))
         env.maxWorkloads = static_cast<unsigned>(
             std::strtoul(s, nullptr, 10));
+    if (const char *s = std::getenv("REPRO_JOBS"))
+        env.jobs = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
     return env;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hh"
 #include "core/core.hh"
 #include "workload/program.hh"
 
@@ -70,11 +71,29 @@ RunResult runOne(const Program &prog, const SimConfig &cfg);
 struct SuiteResult
 {
     std::vector<RunResult> runs;
+
+    /**
+     * Throughput record of the execution that produced the runs.
+     * Observational only — never feeds back into simulation, and is
+     * excluded from determinism comparisons (runs must be
+     * bit-identical for any jobs count; wall time obviously is not).
+     */
+    SuiteTelemetry telemetry;
 };
 
-/** Run every workload of @p suite under @p cfg. */
+/** Short human label for a configuration ("tage-7.1KB", scheme+ports). */
+std::string configLabel(const SimConfig &cfg);
+
+/**
+ * Run every workload of @p suite under @p cfg, fanned across a
+ * ThreadPool. @p jobs = 0 resolves REPRO_JOBS, then hardware
+ * concurrency (resolveJobs); 1 runs serially on the calling thread.
+ * Suite order is preserved and the runs are bit-identical to a serial
+ * execution: every OooCore is constructed per run and workloads share
+ * no mutable state.
+ */
 SuiteResult runSuite(const std::vector<Program> &suite,
-                     const SimConfig &cfg);
+                     const SimConfig &cfg, unsigned jobs = 0);
 
 /** Per-category comparison row (Figures 4/7/9 style). */
 struct CategoryAgg
@@ -107,6 +126,7 @@ struct BenchEnv
     std::uint64_t warmupInstrs = 40000;
     std::uint64_t measureInstrs = 60000;
     unsigned maxWorkloads = 0;  ///< 0 = the full 202-workload suite
+    unsigned jobs = 0;          ///< REPRO_JOBS; 0 = hardware concurrency
 
     static BenchEnv fromEnvironment();
     void apply(SimConfig &cfg) const;

@@ -108,3 +108,33 @@ TEST(Determinism, FreshSuiteRunsMatch)
     for (std::size_t i = 0; i < 3 && i < s1.size(); ++i)
         expectIdentical(runOne(s1[i], cfg), runOne(s1[i], cfg));
 }
+
+TEST(Determinism, ParallelMatchesSerial)
+{
+    // The parallel suite engine must be an observational no-op: a
+    // jobs=4 run is bit-identical to jobs=1, run by run and in suite
+    // order, for every scheme. Each runOne owns its core, so the only
+    // way this fails is shared mutable state leaking across workers.
+    SuiteOptions opts;
+    opts.maxWorkloads = 8;
+    const std::vector<Program> suite = buildSuite(opts);
+    ASSERT_GE(suite.size(), 4u);
+
+    for (const RepairKind kind :
+         {RepairKind::ForwardWalk, RepairKind::Snapshot}) {
+        SimConfig cfg = schemeConfig(kind);
+        cfg.warmupInstrs = 8000;
+        cfg.measureInstrs = 15000;
+        const SuiteResult serial = runSuite(suite, cfg, 1);
+        const SuiteResult parallel = runSuite(suite, cfg, 4);
+        ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+        for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+            SCOPED_TRACE(serial.runs[i].workload);
+            expectIdentical(serial.runs[i], parallel.runs[i]);
+        }
+        EXPECT_EQ(parallel.telemetry.jobs, 4u);
+        EXPECT_EQ(serial.telemetry.jobs, 1u);
+        EXPECT_EQ(serial.telemetry.simInstrs,
+                  parallel.telemetry.simInstrs);
+    }
+}

@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "sim/runner.hh"
+#include "sim/suite_cache.hh"
 #include "workload/suite.hh"
 
 using namespace lbp;
@@ -18,10 +19,12 @@ TEST(BenchEnv, DefaultsWhenUnset)
     unsetenv("REPRO_INSTR");
     unsetenv("REPRO_WARMUP");
     unsetenv("REPRO_WORKLOADS");
+    unsetenv("REPRO_JOBS");
     const BenchEnv env = BenchEnv::fromEnvironment();
     EXPECT_EQ(env.measureInstrs, 60000u);
     EXPECT_EQ(env.warmupInstrs, 40000u);
     EXPECT_EQ(env.maxWorkloads, 0u);
+    EXPECT_EQ(env.jobs, 0u);
 }
 
 TEST(BenchEnv, ReadsOverrides)
@@ -29,13 +32,16 @@ TEST(BenchEnv, ReadsOverrides)
     setenv("REPRO_INSTR", "12345", 1);
     setenv("REPRO_WARMUP", "777", 1);
     setenv("REPRO_WORKLOADS", "9", 1);
+    setenv("REPRO_JOBS", "3", 1);
     const BenchEnv env = BenchEnv::fromEnvironment();
     EXPECT_EQ(env.measureInstrs, 12345u);
     EXPECT_EQ(env.warmupInstrs, 777u);
     EXPECT_EQ(env.maxWorkloads, 9u);
+    EXPECT_EQ(env.jobs, 3u);
     unsetenv("REPRO_INSTR");
     unsetenv("REPRO_WARMUP");
     unsetenv("REPRO_WORKLOADS");
+    unsetenv("REPRO_JOBS");
 
     SimConfig cfg;
     BenchEnv e2;
@@ -118,4 +124,121 @@ TEST(Runner, SCurveIsSortedAscending)
         ipcSCurve(runSuite(suite, base), runSuite(suite, test));
     for (std::size_t i = 1; i < curve.size(); ++i)
         EXPECT_LE(curve[i - 1].second, curve[i].second);
+}
+
+namespace {
+
+/** A suite whose runs all have the given IPC (zero = degenerate). */
+SuiteResult
+syntheticSuite(double ipc)
+{
+    SuiteResult s;
+    for (int i = 0; i < 3; ++i) {
+        RunResult r;
+        r.workload = "w" + std::to_string(i);
+        r.category = i < 2 ? "A" : "B";
+        r.ipc = ipc;
+        s.runs.push_back(r);
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(Runner, IpcGainGuardsEmptyRatioList)
+{
+    // All-zero-IPC suites produce no comparable pairs. geomean of an
+    // empty list is 0, which naively reads as a -100% "gain"; the
+    // aggregation must report 0 (no data) instead.
+    const SuiteResult dead = syntheticSuite(0.0);
+    EXPECT_EQ(ipcGainPct(dead, dead), 0.0);
+
+    const SuiteResult live = syntheticSuite(1.5);
+    EXPECT_EQ(ipcGainPct(live, dead), 0.0);
+    EXPECT_EQ(ipcGainPct(dead, live), 0.0);
+    EXPECT_NEAR(ipcGainPct(live, live), 0.0, 1e-12);
+}
+
+TEST(Runner, AggregateByCategoryGuardsEmptyRatioList)
+{
+    const SuiteResult dead = syntheticSuite(0.0);
+    for (const CategoryAgg &c : aggregateByCategory(dead, dead)) {
+        EXPECT_EQ(c.ipcGainPct, 0.0) << c.name;
+        EXPECT_EQ(c.mpkiReductionPct, 0.0) << c.name;
+    }
+}
+
+TEST(SuiteCache, SecondRunIsAMemoHit)
+{
+    SuiteOptions opts;
+    opts.maxWorkloads = 3;
+    const auto suite = buildSuite(opts);
+    SimConfig cfg;
+    cfg.warmupInstrs = 4000;
+    cfg.measureInstrs = 8000;
+
+    SuiteCache cache;
+    const SuiteResult &a = cache.run(suite, cfg, 1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    const SuiteResult &b = cache.run(suite, cfg, 1);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(&a, &b);  // the cache hands back the same entry
+    EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(SuiteCache, DistinctConfigsAreDistinctEntries)
+{
+    SuiteOptions opts;
+    opts.maxWorkloads = 2;
+    const auto suite = buildSuite(opts);
+    SimConfig base;
+    base.warmupInstrs = 4000;
+    base.measureInstrs = 8000;
+    SimConfig local = base;
+    local.useLocal = true;
+    local.repair.kind = RepairKind::Perfect;
+
+    SuiteCache cache;
+    cache.run(suite, base, 1);
+    cache.run(suite, local, 1);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(SuiteCache, RepairFieldsIgnoredWithoutUseLocal)
+{
+    // The core builds no repair scheme when useLocal is off, so two
+    // baseline configs differing only in leftover repair fields must
+    // share one cache entry.
+    SimConfig a;
+    a.warmupInstrs = 4000;
+    a.measureInstrs = 8000;
+    SimConfig b = a;
+    b.repair.kind = RepairKind::Snapshot;
+    b.repair.ports = {64, 8, 8};
+    EXPECT_EQ(configKey(a), configKey(b));
+    b.useLocal = true;
+    EXPECT_NE(configKey(a), configKey(b));
+}
+
+TEST(Runner, SuiteTelemetryIsFilledIn)
+{
+    SuiteOptions opts;
+    opts.maxWorkloads = 3;
+    const auto suite = buildSuite(opts);
+    SimConfig cfg;
+    cfg.warmupInstrs = 4000;
+    cfg.measureInstrs = 8000;
+    const SuiteResult res = runSuite(suite, cfg, 2);
+    EXPECT_EQ(res.telemetry.workloads, suite.size());
+    EXPECT_EQ(res.telemetry.jobs, 2u);
+    EXPECT_GT(res.telemetry.wallSeconds, 0.0);
+    EXPECT_GT(res.telemetry.simInstrs, 0u);
+    EXPECT_GT(res.telemetry.minstrPerSec(), 0.0);
+    EXPECT_EQ(res.telemetry.label, configLabel(cfg));
+    EXPECT_EQ(res.telemetry.workerBusySeconds.size(), 2u);
 }

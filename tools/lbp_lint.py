@@ -16,7 +16,16 @@ Rules (each finding is printed as ``rule:file:line: message``):
       and the seeded deterministic generators in common/random.hh
       instead of rand()/srand()/time()/<random>/<ctime>. Wall-clock or
       libc randomness breaks run-to-run reproducibility of the
-      simulations.
+      simulations. Exemption: common/telemetry.{hh,cc} is the one
+      sanctioned wall-clock site (observational throughput telemetry
+      only; see RULE_PATH_ALLOW).
+
+  no-raw-thread
+      src/ must not spawn threads directly (std::thread/std::jthread/
+      std::async/pthread_create). All parallelism goes through the
+      ThreadPool in common/thread_pool.{hh,cc} — the one exempted
+      implementation site — so determinism, exception propagation,
+      shutdown, and TSan coverage stay centralized.
 
   stats-counter-reported
       Every counter field registered in a ``*Stats`` struct in src/
@@ -173,11 +182,31 @@ BANNED_CALLS = [
     ("no-raw-time",
      re.compile(r"\b(?:system|steady|high_resolution)_clock\b"),
      "wall-clock time breaks determinism; seed explicitly"),
+    ("no-raw-thread",
+     re.compile(r"\bstd\s*::\s*(?:jthread|thread|async)\b"),
+     "spawn threads only via common/thread_pool.hh (ThreadPool)"),
+    ("no-raw-thread", re.compile(r"\bpthread_create\s*\("),
+     "spawn threads only via common/thread_pool.hh (ThreadPool)"),
 ]
+
+# Per-rule sanctioned implementation sites (path substrings). The pool
+# is the one place that may spawn threads; telemetry is the one place
+# that may read the wall clock.
+RULE_PATH_ALLOW = {
+    "no-raw-thread": ("common/thread_pool",),
+    "no-raw-time": ("common/telemetry",),
+}
+
+
+def rule_allowed_for(rule, path):
+    posix = str(path).replace("\\", "/")
+    return any(frag in posix for frag in RULE_PATH_ALLOW.get(rule, ()))
 
 
 def check_banned_calls(path, stripped, findings):
     for rule, pattern, message in BANNED_CALLS:
+        if rule_allowed_for(rule, path):
+            continue
         for m in pattern.finditer(stripped):
             findings.append(Finding(
                 rule, path, line_of(stripped, m.start()), message))
@@ -304,6 +333,7 @@ def self_test(repo_root):
         "bad_predictor.hh": {"predictor-repair-interface"},
         "bad_calls.cc": {"no-raw-assert", "no-raw-random",
                          "no-raw-time"},
+        "bad_thread.cc": {"no-raw-thread"},
         "bad_stats.hh": {"stats-counter-reported"},
         "bad_include.hh": {"include-guard", "no-parent-include"},
     }

@@ -20,6 +20,8 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "common/telemetry.hh"
+#include "common/thread_pool.hh"
 #include "sim/runner.hh"
 #include "workload/suite.hh"
 
@@ -41,6 +43,8 @@ struct Options
     std::uint64_t warmup = 40000;
     std::uint64_t instrs = 60000;
     std::string csvPath;
+    std::string throughputJson;
+    unsigned jobs = 0;            ///< 0 = REPRO_JOBS / hardware
     bool list = false;
 };
 
@@ -70,7 +74,13 @@ usage()
         "  --tage <7|9|57>            TAGE configuration (KB)\n"
         "  --warmup <N> --instr <N>   instruction budgets\n"
         "  --csv <path>               write per-workload results as "
-        "CSV\n");
+        "CSV\n"
+        "  --jobs <N>                 worker threads for suite runs "
+        "(default:\n"
+        "                             REPRO_JOBS, else hardware "
+        "concurrency)\n"
+        "  --throughput-json <path>   dump throughput telemetry as "
+        "JSON\n");
 }
 
 std::optional<RepairKind>
@@ -181,6 +191,16 @@ parseOptions(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.csvPath = v;
+        } else if (a == "--jobs") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.jobs = static_cast<unsigned>(std::atoi(v));
+        } else if (a == "--throughput-json") {
+            const char *v = need(i);
+            if (!v)
+                return false;
+            opt.throughputJson = v;
         } else {
             std::fprintf(stderr, "unknown option %s\n", a.c_str());
             usage();
@@ -258,6 +278,10 @@ writeCsv(const std::string &path, const SuiteResult &res)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         std::exit(1);
     }
+    const SuiteTelemetry &tel = res.telemetry;
+    out << "# wall_s=" << tel.wallSeconds
+        << " minstr_per_s=" << tel.minstrPerSec()
+        << " jobs=" << tel.jobs << '\n';
     out << "workload,category,ipc,mpki,mispredicts,instructions,"
            "cycles,retired_cond,fetched,wrong_path_fetched,"
            "btb_misses,overrides,overrides_correct,repairs,"
@@ -326,7 +350,15 @@ main(int argc, char **argv)
         }
         const Program prog =
             buildWorkload(*prof, idx, SuiteOptions{}.seed);
-        printRun(runOne(prog, cfg));
+        Stopwatch sw;
+        const RunResult r = runOne(prog, cfg);
+        const double wall = sw.seconds();
+        printRun(r);
+        const std::uint64_t sim = r.stats.retiredInstrs + cfg.warmupInstrs;
+        std::printf("wall %.2fs, %.2f Msim-instr/s\n", wall,
+                    wall > 0.0
+                        ? static_cast<double>(sim) / wall / 1e6
+                        : 0.0);
         return 0;
     }
 
@@ -338,9 +370,10 @@ main(int argc, char **argv)
     SuiteOptions sopts;
     sopts.maxWorkloads = opt.fullSuite ? 0 : opt.suite;
     const auto suite = buildSuite(sopts);
-    std::printf("running %zu workloads, scheme=%s ...\n", suite.size(),
-                opt.scheme.c_str());
-    const SuiteResult res = runSuite(suite, cfg);
+    std::printf("running %zu workloads, scheme=%s, jobs=%u ...\n",
+                suite.size(), opt.scheme.c_str(),
+                resolveJobs(opt.jobs));
+    const SuiteResult res = runSuite(suite, cfg, opt.jobs);
     for (const RunResult &r : res.runs)
         printRun(r);
 
@@ -356,8 +389,14 @@ main(int argc, char **argv)
                 instr ? 1000.0 * misp / instr : 0.0,
                 cyc ? static_cast<double>(instr) / cyc : 0.0,
                 static_cast<unsigned long long>(instr));
+    std::printf("wall %.2fs, %.2f Msim-instr/s (jobs=%u)\n",
+                res.telemetry.wallSeconds, res.telemetry.minstrPerSec(),
+                res.telemetry.jobs);
 
     if (!opt.csvPath.empty())
         writeCsv(opt.csvPath, res);
+    if (!opt.throughputJson.empty())
+        TelemetryRegistry::process().writeJson(opt.throughputJson,
+                                               "lbpsim");
     return 0;
 }

@@ -1,0 +1,19 @@
+// Fixture: seeded no-raw-thread violations. Direct thread spawns
+// bypass the ThreadPool's determinism/exception/shutdown contract.
+
+#include <future>
+#include <thread>
+
+void
+spawnsRawThread()
+{
+    std::thread t([] {});
+    t.join();
+}
+
+void
+spawnsRawAsync()
+{
+    auto f = std::async([] { return 1; });
+    (void)f.get();
+}
