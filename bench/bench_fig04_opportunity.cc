@@ -58,7 +58,7 @@ measureOpportunity(const Program &prog, std::uint64_t instrs)
         }
         if (d.cls != InstClass::CondBranch)
             continue;
-        TagePred p;
+        TagePredStorage p;
         const bool pred = tage.predict(d.pc, p);
         tage.specUpdateHist(d.pc, d.taken);
         tage.train(d.pc, d.taken, p);

@@ -8,9 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "bpu/loop_predictor.hh"
 #include "bpu/tage.hh"
 #include "common/random.hh"
+#include "common/telemetry.hh"
 #include "core/core.hh"
 #include "workload/suite.hh"
 
@@ -24,9 +27,9 @@ BM_TagePredictUpdate(benchmark::State &state)
     TagePredictor tage;
     Xoshiro256ss rng(1);
     Addr pc = 0x400000;
+    TagePredStorage p;
     for (auto _ : state) {
         (void)_;
-        TagePred p;
         const bool dir = rng.chance(0.6);
         benchmark::DoNotOptimize(tage.predict(pc, p));
         tage.specUpdateHist(pc, dir);
@@ -43,9 +46,10 @@ BM_TageCheckpointRestore(benchmark::State &state)
     TagePredictor tage;
     for (unsigned i = 0; i < 64; ++i)
         tage.specUpdateHist(0x400000 + 4 * i, i & 1);
+    TageCheckpointStorage ckpt;
     for (auto _ : state) {
         (void)_;
-        const TageCheckpoint ckpt = tage.checkpoint();
+        tage.checkpoint(ckpt);
         tage.specUpdateHist(0x400100, true);
         tage.restore(ckpt);
     }
@@ -119,6 +123,78 @@ BM_WorkloadGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGeneration);
 
+void
+BM_CoreStepCycle(benchmark::State &state)
+{
+    // Same fixed program as the telemetry probe below: per-iteration
+    // cost here is the stepCycle loop alone (the core persists across
+    // iterations), so data-layout changes show up undiluted by
+    // construction or suite orchestration.
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    SimConfig cfg;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::ForwardWalk;
+    OooCore core(prog, cfg);
+    core.run(20000);  // prime predictors and caches
+    constexpr std::uint64_t chunk = 10000;
+    for (auto _ : state) {
+        (void)_;
+        core.run(chunk);
+        benchmark::DoNotOptimize(core.stats().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * chunk);
+}
+BENCHMARK(BM_CoreStepCycle);
+
+/**
+ * Direct stepCycle-level throughput probe: one warmed core, a fixed
+ * program and instruction count, timed with the telemetry stopwatch so
+ * the result lands in the same registry/JSON that the suite benches
+ * feed (and that tools/perf_compare.py gates in CI).
+ */
+void
+coreThroughputProbe()
+{
+    constexpr std::uint64_t instrs = 2000000;
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    SimConfig cfg;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::ForwardWalk;
+    OooCore core(prog, cfg);
+    core.run(100000);  // warm up before the timed window
+    Stopwatch sw;
+    core.run(instrs);
+    const double wall = sw.seconds();
+
+    SuiteTelemetry t;
+    t.label = "core-stepcycle-micro";
+    t.workloads = 1;
+    t.simInstrs = instrs;
+    t.wallSeconds = wall;
+    TelemetryRegistry::process().record(t);
+    std::printf("core stepCycle probe: %llu instrs in %.3fs = "
+                "%.2f ns/instr, %.2f Minstr/s\n",
+                static_cast<unsigned long long>(instrs), wall,
+                wall / static_cast<double>(instrs) * 1e9,
+                t.minstrPerSec());
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    coreThroughputProbe();
+    TelemetryRegistry::process().printSummary(stdout);
+    TelemetryRegistry::process().writeJson(throughputJsonPath(),
+                                           "bench_micro_predictors");
+    return 0;
+}

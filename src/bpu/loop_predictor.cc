@@ -211,10 +211,52 @@ LoopPredictor::specUpdate(Addr pc, bool dir)
     way->data.state = LoopState::advance(way->data.state, dir);
 }
 
+LoopPredictor::RunState &
+LoopPredictor::runFor(Addr pc)
+{
+    if (retireRuns_.empty())
+        retireRuns_.assign(256, {invalidAddr, RunState{}});
+    for (;;) {
+        const std::size_t mask = retireRuns_.size() - 1;
+        std::size_t idx =
+            (static_cast<std::size_t>(pc >> 2) * 0x9e3779b97f4a7c15ull) &
+            mask;
+        for (;;) {
+            auto &slot = retireRuns_[idx];
+            if (slot.first == pc)
+                return slot.second;
+            if (slot.first == invalidAddr)
+                break;
+            idx = (idx + 1) & mask;
+        }
+        if (retireRunCount_ * 2 < retireRuns_.size()) {
+            auto &slot = retireRuns_[idx];
+            slot.first = pc;
+            ++retireRunCount_;
+            return slot.second;
+        }
+        // Load factor reached 1/2: rehash into a doubled table.
+        std::vector<std::pair<Addr, RunState>> old;
+        old.swap(retireRuns_);
+        retireRuns_.assign(old.size() * 2, {invalidAddr, RunState{}});
+        const std::size_t grown_mask = retireRuns_.size() - 1;
+        for (const auto &e : old) {
+            if (e.first == invalidAddr)
+                continue;
+            std::size_t j = (static_cast<std::size_t>(e.first >> 2) *
+                             0x9e3779b97f4a7c15ull) &
+                            grown_mask;
+            while (retireRuns_[j].first != invalidAddr)
+                j = (j + 1) & grown_mask;
+            retireRuns_[j] = e;
+        }
+    }
+}
+
 void
 LoopPredictor::retireTrain(Addr pc, bool actual_dir)
 {
-    RunState &run = retireRuns_[pc];
+    RunState &run = runFor(pc);
     if (run.known && run.dir != actual_dir) {
         pt_->train(pc, run.dir, run.count);
         run.count = 1;

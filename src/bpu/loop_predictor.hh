@@ -22,7 +22,6 @@
 #define LBP_BPU_LOOP_PREDICTOR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "bpu/predictor.hh"
@@ -184,6 +183,8 @@ class LoopPredictor : public LocalPredictor
 
     std::uint64_t key(Addr pc) const { return pc >> 2; }
 
+    RunState &runFor(Addr pc);
+
     LoopConfig cfg_;
     SetAssocTable<BhtPayload> bht_;
     LoopPatternTable ownPt_;
@@ -193,9 +194,13 @@ class LoopPredictor : public LocalPredictor
      * Retirement-side architectural run reconstruction used to train the
      * PT with exact exit periods. Stands in for the paper's completion-
      * time PT update path; uniform across all repair schemes (DESIGN.md
-     * section 6 idealization note).
+     * section 6 idealization note). Stored in a linear-probe table
+     * keyed by PC — this is queried once per retired conditional
+     * branch, where a node-based map's hashing and pointer chasing was
+     * measurable.
      */
-    std::unordered_map<Addr, RunState> retireRuns_;
+    std::vector<std::pair<Addr, RunState>> retireRuns_;
+    std::size_t retireRunCount_ = 0;
 };
 
 } // namespace lbp

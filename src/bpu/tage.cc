@@ -95,18 +95,27 @@ TagePredictor::TagePredictor(TageConfig cfg)
       ghistRing_(1u << ghistRingLog, 0)
 {
     lbp_assert(numTables_ >= 1 && numTables_ <= tageMaxTables);
-    tables_.resize(numTables_);
+    std::uint32_t total = 0;
     for (unsigned t = 0; t < numTables_; ++t) {
         const auto &tc = cfg_.tables[t];
         lbp_assert(tc.sizeLog >= 4 && tc.sizeLog <= 16);
         lbp_assert(tc.tagBits >= 4 && tc.tagBits <= 15);
-        tables_[t].assign(1u << tc.sizeLog, TageEntry{});
+        TableMeta &m = meta_[t];
+        m.offset = total;
+        m.idxMask = (1u << tc.sizeLog) - 1;
+        m.phMask = (1u << std::min(tc.histLen, cfg_.phistBits)) - 1;
+        m.tagMask = static_cast<std::uint16_t>((1u << tc.tagBits) - 1);
+        m.histLen = static_cast<std::uint16_t>(tc.histLen);
+        m.sizeLog = static_cast<std::uint8_t>(tc.sizeLog);
+        m.keyShift = static_cast<std::uint8_t>(tc.sizeLog - (t % 4));
+        total += 1u << tc.sizeLog;
         maxHist_ = std::max(maxHist_, tc.histLen);
-        foldedIdx_[t].init(tc.histLen, tc.sizeLog);
-        foldedTagA_[t].init(tc.histLen, tc.tagBits);
-        foldedTagB_[t].init(tc.histLen,
+        folded_[t].idx.init(tc.histLen, tc.sizeLog);
+        folded_[t].tagA.init(tc.histLen, tc.tagBits);
+        folded_[t].tagB.init(tc.histLen,
                             tc.tagBits > 1 ? tc.tagBits - 1 : 1);
     }
+    arena_.assign(total, TageEntry{});
     lbp_assert(maxHist_ < (1u << ghistRingLog) / 2);
 }
 
@@ -121,38 +130,39 @@ TagePredictor::ghistAt(unsigned dist) const
 unsigned
 TagePredictor::tableIndex(unsigned t, Addr pc) const
 {
-    const auto &tc = cfg_.tables[t];
+    const TableMeta &m = meta_[t];
     const std::uint64_t key = pc >> 2;
     // Path-history contribution is limited to min(histLen, phistBits)
     // bits (Seznec's F function): a short-history table must not have
     // its index perturbed by long-range path context, or it never
     // converges.
-    const unsigned ph_bits =
-        std::min(tc.histLen, cfg_.phistBits);
-    const unsigned ph =
-        static_cast<unsigned>(phist_) & ((1u << ph_bits) - 1);
-    const unsigned phist_fold =
-        (ph ^ (ph >> tc.sizeLog)) & ((1u << tc.sizeLog) - 1);
-    std::uint64_t idx = key ^ (key >> (tc.sizeLog - (t % 4))) ^
-                        foldedIdx_[t].comp ^ phist_fold;
-    return static_cast<unsigned>(idx & ((1u << tc.sizeLog) - 1));
+    const unsigned ph = static_cast<unsigned>(phist_) & m.phMask;
+    const unsigned phist_fold = (ph ^ (ph >> m.sizeLog)) & m.idxMask;
+    std::uint64_t idx = key ^ (key >> m.keyShift) ^
+                        folded_[t].idx.comp ^ phist_fold;
+    return static_cast<unsigned>(idx & m.idxMask);
 }
 
 std::uint16_t
 TagePredictor::tableTag(unsigned t, Addr pc) const
 {
-    const auto &tc = cfg_.tables[t];
     const std::uint64_t key = pc >> 2;
-    std::uint64_t tag = key ^ foldedTagA_[t].comp ^
-                        (static_cast<std::uint64_t>(foldedTagB_[t].comp)
+    std::uint64_t tag = key ^ folded_[t].tagA.comp ^
+                        (static_cast<std::uint64_t>(folded_[t].tagB.comp)
                          << 1);
-    return static_cast<std::uint16_t>(tag & ((1u << tc.tagBits) - 1));
+    return static_cast<std::uint16_t>(tag & meta_[t].tagMask);
 }
 
 bool
 TagePredictor::predict(Addr pc, TagePred &out)
 {
-    out = TagePred{};
+    // Reset the scalar fields only: the index/tag slots point into
+    // caller-owned storage (pool arena or TagePredStorage) and the
+    // first numTables_ entries are overwritten below.
+    out.pred = out.altPred = out.bimodalPred = false;
+    out.provider = out.altProvider = -1;
+    out.providerWeak = out.usedAlt = false;
+
     out.bimodalPred = bimodal_.predict(pc);
 
     int provider = -1;
@@ -160,7 +170,7 @@ TagePredictor::predict(Addr pc, TagePred &out)
     for (unsigned t = 0; t < numTables_; ++t) {
         out.indices[t] = static_cast<std::uint16_t>(tableIndex(t, pc));
         out.tags[t] = tableTag(t, pc);
-        const TageEntry &e = tables_[t][out.indices[t]];
+        const TageEntry &e = entry(t, out.indices[t]);
         if (e.tag == out.tags[t]) {
             // Longest-history tag hit wins; the previous hit becomes
             // the alternate provider. Pure tag match, as in hardware:
@@ -175,7 +185,8 @@ TagePredictor::predict(Addr pc, TagePred &out)
 
     const bool alt_dir =
         alt_provider >= 0
-            ? tables_[alt_provider][out.indices[alt_provider]].ctr >= 0
+            ? entry(static_cast<unsigned>(alt_provider),
+                    out.indices[alt_provider]).ctr >= 0
             : out.bimodalPred;
     out.altPred = alt_dir;
 
@@ -184,7 +195,8 @@ TagePredictor::predict(Addr pc, TagePred &out)
         return out.pred;
     }
 
-    const TageEntry &pe = tables_[provider][out.indices[provider]];
+    const TageEntry &pe =
+        entry(static_cast<unsigned>(provider), out.indices[provider]);
     const bool provider_dir = pe.ctr >= 0;
     out.providerWeak = (pe.ctr == 0 || pe.ctr == -1);
 
@@ -212,29 +224,28 @@ TagePredictor::specUpdateHist(Addr pc, bool taken)
         const unsigned len = cfg_.tables[t].histLen;
         // The bit that just fell out of this table's window.
         const bool old_bit = ghistAt(len);
-        foldedIdx_[t].update(new_bit, old_bit);
-        foldedTagA_[t].update(new_bit, old_bit);
-        foldedTagB_[t].update(new_bit, old_bit);
+        folded_[t].idx.update(new_bit, old_bit);
+        folded_[t].tagA.update(new_bit, old_bit);
+        folded_[t].tagB.update(new_bit, old_bit);
     }
     phist_ = ((phist_ << 1) |
               static_cast<std::uint32_t>((pc >> 2) & 1)) &
              ((1u << cfg_.phistBits) - 1);
 }
 
-TageCheckpoint
-TagePredictor::checkpoint() const
+void
+TagePredictor::checkpoint(TageCheckpoint &ckpt) const
 {
-    TageCheckpoint ckpt;
     ckpt.ghistHead = ghistHead_;
     ckpt.phist = phist_;
     for (unsigned t = 0; t < numTables_; ++t) {
-        ckpt.folded[t][0] = static_cast<std::uint16_t>(foldedIdx_[t].comp);
-        ckpt.folded[t][1] =
-            static_cast<std::uint16_t>(foldedTagA_[t].comp);
-        ckpt.folded[t][2] =
-            static_cast<std::uint16_t>(foldedTagB_[t].comp);
+        ckpt.folded[t * 3 + 0] =
+            static_cast<std::uint16_t>(folded_[t].idx.comp);
+        ckpt.folded[t * 3 + 1] =
+            static_cast<std::uint16_t>(folded_[t].tagA.comp);
+        ckpt.folded[t * 3 + 2] =
+            static_cast<std::uint16_t>(folded_[t].tagB.comp);
     }
-    return ckpt;
 }
 
 void
@@ -248,9 +259,9 @@ TagePredictor::restore(const TageCheckpoint &ckpt)
     ghistHead_ = ckpt.ghistHead;
     phist_ = ckpt.phist;
     for (unsigned t = 0; t < numTables_; ++t) {
-        foldedIdx_[t].comp = ckpt.folded[t][0];
-        foldedTagA_[t].comp = ckpt.folded[t][1];
-        foldedTagB_[t].comp = ckpt.folded[t][2];
+        folded_[t].idx.comp = ckpt.folded[t * 3 + 0];
+        folded_[t].tagA.comp = ckpt.folded[t * 3 + 1];
+        folded_[t].tagB.comp = ckpt.folded[t * 3 + 2];
     }
 }
 
@@ -259,17 +270,18 @@ TagePredictor::train(Addr pc, bool actual, const TagePred &pred)
 {
     ++trainCount_;
 
-    // Periodic graceful usefulness aging.
+    // Periodic graceful usefulness aging (arena order == old
+    // table-major order, so the sweep is byte-identical).
     if ((trainCount_ & (uResetPeriod_ - 1)) == 0) {
-        for (auto &table : tables_)
-            for (auto &e : table)
-                e.u >>= 1;
+        for (auto &e : arena_)
+            e.u >>= 1;
     }
 
     const bool mispredicted = pred.pred != actual;
 
     if (pred.provider >= 0) {
-        TageEntry &pe = tables_[pred.provider][pred.indices[pred.provider]];
+        TageEntry &pe = entry(static_cast<unsigned>(pred.provider),
+                              pred.indices[pred.provider]);
         const bool provider_dir = pe.ctr >= 0;
 
         // Train the use-alt chooser on newly-allocated providers whose
@@ -314,7 +326,7 @@ TagePredictor::train(Addr pc, bool actual, const TagePred &pred)
 
         bool allocated = false;
         for (unsigned t = first; t < numTables_; ++t) {
-            TageEntry &e = tables_[t][pred.indices[t]];
+            TageEntry &e = entry(t, pred.indices[t]);
             if (e.u == 0) {
                 e.tag = pred.tags[t];
                 e.ctr = actual ? 0 : -1;
@@ -324,7 +336,7 @@ TagePredictor::train(Addr pc, bool actual, const TagePred &pred)
         }
         if (!allocated) {
             for (unsigned t = start; t < numTables_; ++t) {
-                TageEntry &e = tables_[t][pred.indices[t]];
+                TageEntry &e = entry(t, pred.indices[t]);
                 if (e.u > 0)
                     --e.u;
             }

@@ -61,7 +61,17 @@ struct TageConfig
     double storageKB() const;
 };
 
-/** Per-prediction record carried by each in-flight conditional branch. */
+/**
+ * Per-prediction record carried by each in-flight conditional branch.
+ *
+ * The per-table index/tag words live in externally-owned storage sized
+ * to the predictor's actual table count (numTables), not to the
+ * tageMaxTables compile-time cap: in-flight branches draw their slots
+ * from the core's branch-record pool arena, so an 8K-entry instruction
+ * ring never carries 16-table worth of dead weight per slot. Standalone
+ * users (tests, microbenchmarks) bind inline storage via
+ * TagePredStorage.
+ */
 struct TagePred
 {
     bool pred = false;          ///< final TAGE direction
@@ -71,16 +81,46 @@ struct TagePred
     std::int8_t altProvider = -1;  ///< alt providing table, -1 = bimodal
     bool providerWeak = false;     ///< provider counter near midpoint
     bool usedAlt = false;          ///< alt chosen over a weak new entry
-    std::array<std::uint16_t, tageMaxTables> indices{};
-    std::array<std::uint16_t, tageMaxTables> tags{};
+    std::uint16_t *indices = nullptr;  ///< numTables entries
+    std::uint16_t *tags = nullptr;     ///< numTables entries
 };
 
-/** Checkpoint of the speculative global state (O(1) restore). */
+/** TagePred owning inline index/tag storage (standalone callers). */
+struct TagePredStorage : TagePred
+{
+    TagePredStorage()
+    {
+        indices = buf.data();
+        tags = buf.data() + tageMaxTables;
+    }
+    TagePredStorage(const TagePredStorage &) = delete;
+    TagePredStorage &operator=(const TagePredStorage &) = delete;
+
+    std::array<std::uint16_t, 2 * tageMaxTables> buf{};
+};
+
+/**
+ * Checkpoint of the speculative global state (O(1) restore). The three
+ * folded-history words per table live in externally-owned storage
+ * (layout [table * 3 + {idx, tagA, tagB}]), sized to numTables like
+ * TagePred's slots; TageCheckpointStorage binds inline storage.
+ */
 struct TageCheckpoint
 {
     std::uint64_t ghistHead = 0;
     std::uint32_t phist = 0;
-    std::array<std::array<std::uint16_t, 3>, tageMaxTables> folded{};
+    std::uint16_t *folded = nullptr;  ///< 3 * numTables entries
+};
+
+/** TageCheckpoint owning inline folded storage (standalone callers). */
+struct TageCheckpointStorage : TageCheckpoint
+{
+    TageCheckpointStorage() { folded = buf.data(); }
+    TageCheckpointStorage(const TageCheckpointStorage &) = delete;
+    TageCheckpointStorage &operator=(const TageCheckpointStorage &) =
+        delete;
+
+    std::array<std::uint16_t, 3 * tageMaxTables> buf{};
 };
 
 /**
@@ -102,7 +142,7 @@ class TagePredictor
     void specUpdateHist(Addr pc, bool taken);
 
     /** Capture the speculative global state before a history push. */
-    TageCheckpoint checkpoint() const;
+    void checkpoint(TageCheckpoint &out) const;
 
     /** Restore the speculative global state (misprediction flush). */
     void restore(const TageCheckpoint &ckpt);
@@ -113,6 +153,9 @@ class TagePredictor
     const TageConfig &config() const { return cfg_; }
     double storageKB() const { return cfg_.storageKB(); }
 
+    /** Number of tagged tables in use (sizes pool arenas). */
+    unsigned numTables() const { return numTables_; }
+
     /** Longest history length in use (test/inspection helper). */
     unsigned maxHistLen() const { return maxHist_; }
 
@@ -122,6 +165,23 @@ class TagePredictor
         std::uint16_t tag = 0;
         std::int8_t ctr = 0;     ///< signed; >= 0 predicts taken
         std::uint8_t u = 0;      ///< usefulness
+    };
+    static_assert(sizeof(TageEntry) == 4, "TageEntry must stay packed");
+
+    /**
+     * Precomputed per-table geometry: arena offset plus the masks and
+     * shifts tableIndex/tableTag recompute from TageTableConfig on
+     * every lookup in the vector-of-vectors layout.
+     */
+    struct TableMeta
+    {
+        std::uint32_t offset = 0;    ///< first entry in arena_
+        std::uint32_t idxMask = 0;   ///< (1 << sizeLog) - 1
+        std::uint32_t phMask = 0;    ///< (1 << min(histLen,phistBits)) - 1
+        std::uint16_t tagMask = 0;   ///< (1 << tagBits) - 1
+        std::uint16_t histLen = 0;
+        std::uint8_t sizeLog = 0;
+        std::uint8_t keyShift = 0;   ///< sizeLog - (t % 4)
     };
 
     /** Folded (compressed) history register for one table purpose. */
@@ -138,6 +198,14 @@ class TagePredictor
 
     unsigned tableIndex(unsigned t, Addr pc) const;
     std::uint16_t tableTag(unsigned t, Addr pc) const;
+    TageEntry &entry(unsigned t, unsigned idx)
+    {
+        return arena_[meta_[t].offset + idx];
+    }
+    const TageEntry &entry(unsigned t, unsigned idx) const
+    {
+        return arena_[meta_[t].offset + idx];
+    }
     bool ghistAt(unsigned dist) const;
     int ctrMax() const { return (1 << (cfg_.ctrBits - 1)) - 1; }
     int ctrMin() const { return -(1 << (cfg_.ctrBits - 1)); }
@@ -147,16 +215,26 @@ class TagePredictor
     unsigned maxHist_;
 
     BimodalPredictor bimodal_;
-    std::vector<std::vector<TageEntry>> tables_;
+    /** All tagged tables in one contiguous arena; meta_[t].offset maps
+     *  (table, index) to a flat position. */
+    std::vector<TageEntry> arena_;
+    std::array<TableMeta, tageMaxTables> meta_{};
+
+    /** Per-table folded registers, interleaved so one table's history
+     *  push touches a single cache line instead of three. */
+    struct FoldedSet
+    {
+        Folded idx;
+        Folded tagA;
+        Folded tagB;
+    };
 
     // Speculative global state.
     static constexpr unsigned ghistRingLog = 12;
     std::vector<std::uint8_t> ghistRing_;
     std::uint64_t ghistHead_ = 0;
     std::uint32_t phist_ = 0;
-    std::array<Folded, tageMaxTables> foldedIdx_;
-    std::array<Folded, tageMaxTables> foldedTagA_;
-    std::array<Folded, tageMaxTables> foldedTagB_;
+    std::array<FoldedSet, tageMaxTables> folded_;
 
     // Training-side state.
     SignedSatCounter useAltOnNa_{4, 0};

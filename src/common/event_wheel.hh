@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Calendar-wheel event queue for branch-resolution events.
+ *
+ * Replaces the core's std::priority_queue pendingResolve_: almost every
+ * resolution lands within a couple hundred cycles, so O(log n) heap
+ * sifting (and its vector churn) is overkill. Events within the wheel
+ * window go straight into their slot; the rare far-future ones (deep
+ * dependence chains can push doneCycle thousands of cycles out) sit in
+ * an overflow list sorted descending by (time, value) and are refiled
+ * as the window advances.
+ *
+ * Ordering contract, needed for bit-identical replacement of the heap:
+ * events fire in ascending (time, insertion-order) — for the core,
+ * same-cycle events were inserted in ascending sequence-number order at
+ * alloc, which is exactly the (time, seq) order the old
+ * priority_queue<greater<>> popped. The overflow list preserves this
+ * too: a refiled event always entered the wheel slot before any
+ * direct-scheduled event of the same time could (its schedule() call
+ * preceded the window reaching that time).
+ */
+
+#ifndef LBP_COMMON_EVENT_WHEEL_HH
+#define LBP_COMMON_EVENT_WHEEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lbp {
+
+class EventWheel
+{
+  public:
+    using Event = std::pair<Cycle, std::uint64_t>;  ///< (time, value)
+
+    explicit EventWheel(unsigned log2_slots)
+        : slots_(std::size_t{1} << log2_slots),
+          mask_((std::size_t{1} << log2_slots) - 1)
+    {
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    std::size_t slotCount() const { return mask_ + 1; }
+
+    /** Schedule @p value at @p t (must be > @p now). */
+    void schedule(Cycle t, std::uint64_t value, Cycle now)
+    {
+        lbp_assert(t > now);
+        ++count_;
+        if (t - now < slotCount()) {
+            slots_[t & mask_].push_back({t, value});
+            return;
+        }
+        // Far-future: keep far_ sorted descending so the earliest event
+        // is at the back (O(1) refile peek/pop).
+        const Event ev{t, value};
+        auto it = std::upper_bound(
+            far_.begin(), far_.end(), ev,
+            [](const Event &a, const Event &b) { return a > b; });
+        far_.insert(it, ev);
+    }
+
+    /**
+     * Pop one event due at or before @p now (into @p value). Call in a
+     * loop each cycle; returns false when nothing further is due.
+     * Events for the same cycle come back in insertion order.
+     */
+    bool popDue(Cycle now, std::uint64_t &value)
+    {
+        refile(now);
+        auto &slot = slots_[now & mask_];
+        for (auto it = slot.begin(); it != slot.end(); ++it) {
+            if (it->first <= now) {
+                value = it->second;
+                slot.erase(it);
+                --count_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Earliest pending event time in (now, limit); returns @p limit if
+     * none lies below it. Used by the idle fast-forward to bound a
+     * cycle jump.
+     */
+    Cycle nextEventTime(Cycle now, Cycle limit) const
+    {
+        if (count_ == 0)
+            return limit;
+        Cycle best = limit;
+        if (!far_.empty())
+            best = std::min(best, far_.back().first);
+        // All wheel-resident events have times in (now, now+slots).
+        const Cycle scan_end =
+            std::min(best, now + static_cast<Cycle>(slotCount()) + 1);
+        for (Cycle t = now + 1; t < scan_end; ++t) {
+            const auto &slot = slots_[t & mask_];
+            if (slot.empty())
+                continue;
+            for (const Event &e : slot)
+                if (e.first == t)
+                    return t;
+        }
+        return best;
+    }
+
+  private:
+    void refile(Cycle now)
+    {
+        while (!far_.empty() &&
+               far_.back().first - now < slotCount()) {
+            const Event ev = far_.back();
+            far_.pop_back();
+            slots_[ev.first & mask_].push_back(ev);
+        }
+    }
+
+    std::vector<std::vector<Event>> slots_;
+    std::vector<Event> far_;
+    std::size_t mask_;
+    std::size_t count_ = 0;
+};
+
+} // namespace lbp
+
+#endif // LBP_COMMON_EVENT_WHEEL_HH

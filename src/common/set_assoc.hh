@@ -53,7 +53,8 @@ class SetAssocTable
     };
 
     SetAssocTable(unsigned num_sets, unsigned num_ways)
-        : numSets_(num_sets), numWays_(num_ways), stamp_(0),
+        : numSets_(num_sets), numWays_(num_ways),
+          setBits_(floorLog2(num_sets)), stamp_(0),
           ways_(static_cast<std::size_t>(num_sets) * num_ways)
     {
         lbp_assert(num_sets >= 1 && num_ways >= 1);
@@ -161,13 +162,104 @@ class SetAssocTable
         return ways_[static_cast<std::size_t>(set) * numWays_ + way];
     }
 
-    unsigned setBits() const { return floorLog2(numSets_); }
+    unsigned setBits() const { return setBits_; }
 
   private:
     unsigned numSets_;
     unsigned numWays_;
+    unsigned setBits_;  ///< cached: tagOf() runs on every lookup
     std::uint32_t stamp_;
     std::vector<Way> ways_;
+};
+
+/**
+ * Payload-free set-associative tag array with true-LRU replacement —
+ * the same replacement policy as SetAssocTable (first invalid way,
+ * else lowest stamp in way order), but stored as parallel arrays so a
+ * set scan reads one cache line of tags instead of striding over
+ * 24-byte Way records. Used where only presence matters (cache tag
+ * arrays, the BTB), which are the hottest lookups in the simulator.
+ */
+class FlatTagLru
+{
+  public:
+    FlatTagLru(unsigned num_sets, unsigned num_ways)
+        : numSets_(num_sets), numWays_(num_ways),
+          setBits_(floorLog2(num_sets)), stamp_(0),
+          tags_(static_cast<std::size_t>(num_sets) * num_ways, 0),
+          lru_(static_cast<std::size_t>(num_sets) * num_ways, 0)
+    {
+        lbp_assert(num_sets >= 1 && num_ways >= 1);
+        lbp_assert(isPowerOf2(num_sets));
+    }
+
+    unsigned numSets() const { return numSets_; }
+    unsigned numWays() const { return numWays_; }
+    unsigned numEntries() const { return numSets_ * numWays_; }
+
+    /** True when the key is present; updates LRU when @p touch. */
+    bool
+    lookup(std::uint64_t key, bool touch = true)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(key & (numSets_ - 1)) * numWays_;
+        const std::uint64_t want = packedTag(key);
+        for (unsigned w = 0; w < numWays_; ++w) {
+            if (tags_[base + w] == want) {
+                if (touch)
+                    lru_[base + w] = ++stamp_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    lookup(std::uint64_t key) const
+    {
+        return const_cast<FlatTagLru *>(this)->lookup(key, false);
+    }
+
+    /** Insert a key, evicting the set's LRU way if needed. */
+    void
+    insert(std::uint64_t key)
+    {
+        const std::size_t base =
+            static_cast<std::size_t>(key & (numSets_ - 1)) * numWays_;
+        std::size_t victim = base;
+        for (unsigned w = 0; w < numWays_; ++w) {
+            if (tags_[base + w] == 0) {
+                victim = base + w;
+                break;
+            }
+            if (lru_[base + w] < lru_[victim])
+                victim = base + w;
+        }
+        tags_[victim] = packedTag(key);
+        lru_[victim] = ++stamp_;
+    }
+
+  private:
+    /**
+     * Tag and valid bit share one word — a set scan then reads a single
+     * contiguous line of tags — by storing tag+1: 0 means empty, and an
+     * invalid way can never match a probe. Keys are line/instruction
+     * addresses shifted down, so tag+1 cannot wrap.
+     */
+    std::uint64_t
+    packedTag(std::uint64_t key) const
+    {
+        const std::uint64_t tag = (key >> setBits_) + 1;
+        lbp_assert(tag != 0);
+        return tag;
+    }
+
+    unsigned numSets_;
+    unsigned numWays_;
+    unsigned setBits_;
+    std::uint32_t stamp_;
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint32_t> lru_;
 };
 
 } // namespace lbp

@@ -6,50 +6,11 @@ namespace lbp {
 
 Cache::Cache(const CacheConfig &cfg, Cache *next, unsigned mem_latency)
     : cfg_(cfg), next_(next), memLatency_(mem_latency),
+      lineShift_(floorLog2(cfg.lineBytes)),
       tags_(cfg.sizeKB * 1024 / cfg.lineBytes / cfg.ways, cfg.ways)
 {
     lbp_assert(isPowerOf2(cfg.lineBytes));
     lbp_assert(cfg.sizeKB * 1024 % (cfg.lineBytes * cfg.ways) == 0);
-}
-
-unsigned
-Cache::access(Addr addr)
-{
-    ++stats_.accesses;
-    const std::uint64_t key = lineKey(addr);
-    const bool hit = tags_.lookup(key) != nullptr;
-
-    unsigned latency = cfg_.latency;
-    if (!hit) {
-        ++stats_.misses;
-        latency += next_ ? next_->access(addr) : memLatency_;
-        tags_.insert(key);
-    }
-    if (cfg_.nextLinePrefetch) {
-        // Streamer-style prefetch: keep the sequential next line
-        // resident on every access (hit or miss) so strided streams run
-        // ahead of demand, as the enabled prefetchers of Table 2 do.
-        prefetchFill(addr + cfg_.lineBytes);
-    }
-    return latency;
-}
-
-void
-Cache::prefetchFill(Addr addr)
-{
-    const std::uint64_t key = lineKey(addr);
-    if (tags_.lookup(key, false))
-        return;
-    tags_.insert(key);
-    ++stats_.prefetchFills;
-    if (next_)
-        next_->prefetchFill(addr);
-}
-
-bool
-Cache::probe(Addr addr) const
-{
-    return tags_.lookup(lineKey(addr)) != nullptr;
 }
 
 MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyConfig &cfg)

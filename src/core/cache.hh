@@ -46,33 +46,83 @@ class Cache
     /**
      * Access @p addr; returns total latency including lower levels on a
      * miss, and fills the line (plus the next line when prefetching).
+     * Inline: this is the hottest call in the simulator (every load,
+     * store, and fetched line goes through it).
      */
-    unsigned access(Addr addr);
+    unsigned
+    access(Addr addr)
+    {
+        ++stats_.accesses;
+        const std::uint64_t key = lineKey(addr);
+        const bool hit = tags_.lookup(key);
+
+        unsigned latency = cfg_.latency;
+        if (!hit) {
+            ++stats_.misses;
+            latency += next_ ? next_->access(addr) : memLatency_;
+            tags_.insert(key);
+            ++insertCount_;
+        }
+        if (cfg_.nextLinePrefetch) {
+            // Streamer-style prefetch: keep the sequential next line
+            // resident on every access (hit or miss) so strided streams
+            // run ahead of demand, as the prefetchers of Table 2 do.
+            prefetchFill(addr + cfg_.lineBytes);
+        }
+        return latency;
+    }
 
     /** Fill without demand-latency accounting (prefetch path). */
-    void prefetchFill(Addr addr);
+    void
+    prefetchFill(Addr addr)
+    {
+        const std::uint64_t key = lineKey(addr);
+        // A prefetch that hits is a pure no-op (the untouched probe
+        // leaves LRU alone), so a line known resident since the last
+        // insert into this cache can skip the tag scan entirely.
+        // Strided streams hammer the same next-line key for a whole
+        // line's worth of accesses.
+        if (key == lastPfKey_ && insertCount_ == lastPfGen_)
+            return;
+        if (tags_.lookup(key, false)) {
+            lastPfKey_ = key;
+            lastPfGen_ = insertCount_;
+            return;
+        }
+        tags_.insert(key);
+        ++insertCount_;
+        lastPfKey_ = key;
+        lastPfGen_ = insertCount_;
+        ++stats_.prefetchFills;
+        if (next_)
+            next_->prefetchFill(addr);
+    }
 
     /** True when the line is present (no LRU update). */
-    bool probe(Addr addr) const;
+    bool probe(Addr addr) const { return tags_.lookup(lineKey(addr)); }
 
     const Stats &stats() const { return stats_; }
     const CacheConfig &config() const { return cfg_; }
 
   private:
-    struct Line
-    {
-    };
-
     std::uint64_t lineKey(Addr addr) const
     {
-        return addr / cfg_.lineBytes;
+        // lineBytes is asserted power-of-two; a shift avoids a hardware
+        // divide on every access/prefetch probe.
+        return addr >> lineShift_;
     }
 
     CacheConfig cfg_;
     Cache *next_;
     unsigned memLatency_;
-    SetAssocTable<Line> tags_;
+    unsigned lineShift_;
+    FlatTagLru tags_;
     Stats stats_;
+    /** Presence memo for the prefetch probe: valid while no insert has
+     *  happened since it was taken (hits have no side effects). */
+    std::uint64_t lastPfKey_ = ~std::uint64_t{0};
+    std::uint64_t lastPfGen_ = ~std::uint64_t{0};
+    std::uint64_t insertCount_ = 0;
 };
 
 /** Table 2's three-level hierarchy plus DRAM. */

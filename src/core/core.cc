@@ -1,5 +1,6 @@
 #include "core/core.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -32,8 +33,19 @@ OooCore::OooCore(const Program &prog, const SimConfig &cfg,
     : prog_(prog), cfg_(cfg), exec_(prog), mem_(cfg.core.mem),
       tage_(cfg.tage),
       btb_(cfg.core.btbEntries / cfg.core.btbWays, cfg.core.btbWays),
+      fetchQueue_(cfg.core.fetchQueueEntries),
+      deferQueue_(cfg.core.fetchQueueEntries),
+      replay_(1024),
+      rob_(cfg.core.robEntries),
       issueCal_(1u << calLog, 0), loadCal_(1u << calLog, 0),
-      storeCal_(1u << calLog, 0), ring_(ringSize()),
+      storeCal_(1u << calLog, 0),
+      resolveWheel_(wheelLog),
+      // Live branch records are bounded by fetch-queue + ROB occupancy
+      // (everything else has been squashed and freed); the margin
+      // absorbs the replay backlog's one-cycle handover.
+      brPool_(cfg.core.fetchQueueEntries + cfg.core.robEntries + 64,
+              tage_.numTables()),
+      ring_(ringSize()),
       trueSeqRing_(1u << trueRingLog, invalidSeq)
 {
     scheme_ = std::move(scheme);
@@ -55,13 +67,34 @@ OooCore::run(std::uint64_t instructions)
 {
     const std::uint64_t target = stats_.retiredInstrs + instructions;
     std::uint64_t last_retired = stats_.retiredInstrs;
-    Cycle last_progress = now_;
+    std::uint64_t idle_steps = 0;
+    bool maybe_idle = true;
     while (stats_.retiredInstrs < target) {
+        // Idle fast-forward: when no stage can possibly act before the
+        // earliest scheduled wakeup, jump straight to it instead of
+        // spinning empty stepCycle iterations through a DRAM-miss
+        // stall. Skipped cycles are provably no-ops, so the cycle
+        // counters and all simulated state stay bit-identical. The
+        // wakeup scan itself only runs after a cycle that made no
+        // progress: a busy pipeline pays nothing for it, and the one
+        // extra no-op stepCycle it takes to notice a stall is exactly
+        // the iteration fastForwardTo would have replayed anyway.
+        if (maybe_idle) {
+            const Cycle wake = nextWakeup();
+            if (wake > now_ + 1)
+                fastForwardTo(wake);
+        }
+        const std::uint64_t pre_work = stats_.retiredInstrs +
+                                       stats_.fetchedInstrs +
+                                       stats_.mispredicts;
         stepCycle();
+        maybe_idle = stats_.retiredInstrs + stats_.fetchedInstrs +
+                         stats_.mispredicts ==
+                     pre_work;
         if (stats_.retiredInstrs != last_retired) {
             last_retired = stats_.retiredInstrs;
-            last_progress = now_;
-        } else if (now_ - last_progress > 100000) {
+            idle_steps = 0;
+        } else if (++idle_steps > 100000) {
             const auto u64 = [](std::uint64_t v) {
                 return static_cast<unsigned long long>(v);
             };
@@ -72,7 +105,7 @@ OooCore::run(std::uint64_t instructions)
                          fetchQueue_.size(), lqOcc_, sqOcc_,
                          static_cast<int>(wrongPath_),
                          u64(fetchStallUntil_),
-                         pendingResolve_.size(), replay_.size());
+                         resolveWheel_.size(), replay_.size());
             if (!rob_.empty()) {
                 const DynInst &h = inst(rob_.front());
                 std::fprintf(stderr,
@@ -90,9 +123,123 @@ OooCore::run(std::uint64_t instructions)
                              u64(d.doneCycle), u64(d.fetchCycle),
                              u64(nextSeq_));
             }
-            lbp_panic("core deadlock: no retirement in 100k cycles");
+            // Counting *stepped* iterations, not elapsed cycles: the
+            // fast-forward can legitimately jump now_ by thousands per
+            // step, and a cycle-based threshold would false-positive on
+            // long (but progressing) stalls or never fire if a hung
+            // core kept finding bogus wakeups.
+            lbp_panic("core deadlock: no retirement in 100k steps");
         }
     }
+}
+
+/**
+ * Earliest future cycle at which some stage might act; stepping at any
+ * earlier cycle is provably a no-op. Candidates mirror the stages'
+ * own guards exactly (conservative candidates may land on a no-op
+ * cycle, which is harmless; a late candidate would diverge, so every
+ * bound below errs early).
+ */
+Cycle
+OooCore::nextWakeup()
+{
+    const Cycle t0 = now_ + 1;
+
+    // Retire: the ROB head retires the cycle after it completes. More
+    // than retireWidth ready heads just retires over multiple cycles,
+    // which the max() clamp covers.
+    Cycle cand = ~Cycle{0};
+    if (!rob_.empty()) {
+        cand = std::max(t0, inst(rob_.front()).doneCycle + 1);
+        if (cand == t0)
+            return t0;
+    }
+
+    // Defer: the queue head acts deferDepth cycles after fetch. A stale
+    // head (squashed slot) is popped by the stage itself — step now.
+    if (!deferQueue_.empty()) {
+        const InstSeq s = deferQueue_.front();
+        const DynInst &d = inst(s);
+        if (d.seq != s)
+            return t0;
+        cand = std::min(cand,
+                        std::max(t0, d.fetchCycle +
+                                         cfg_.core.deferDepth));
+        if (cand == t0)
+            return t0;
+    }
+
+    // Alloc: the queue head allocates frontEndDepth cycles after fetch,
+    // unless blocked on ROB/LQ/SQ space — then retirement (above) is
+    // what unblocks it, in the same cycle it frees the entry.
+    if (!fetchQueue_.empty()) {
+        const DynInst &f = inst(fetchQueue_.front());
+        bool blocked = rob_.size() >= cfg_.core.robEntries;
+        if (!blocked && !f.wrongPath) {
+            if (f.cls == InstClass::Load &&
+                lqOcc_ >= cfg_.core.loadQueue)
+                blocked = true;
+            if (f.cls == InstClass::Store &&
+                sqOcc_ >= cfg_.core.storeQueue)
+                blocked = true;
+        }
+        if (!blocked) {
+            cand = std::min(cand,
+                            std::max(t0, f.fetchCycle +
+                                             cfg_.core.frontEndDepth));
+            if (cand == t0)
+                return t0;
+        }
+    }
+
+    // Fetch: acts once the stall lifts, provided there is queue space
+    // and ring headroom (those two are freed by alloc/retire, whose
+    // candidates already cover the unblocking cycle).
+    if (fetchQueue_.size() < cfg_.core.fetchQueueEntries) {
+        const InstSeq oldest_live =
+            !rob_.empty()
+                ? inst(rob_.front()).seq
+                : (!fetchQueue_.empty() ? inst(fetchQueue_.front()).seq
+                                        : nextSeq_);
+        if (nextSeq_ - oldest_live < ringSize() - 64) {
+            cand = std::min(cand, std::max(t0, fetchStallUntil_));
+            if (cand == t0)
+                return t0;
+        }
+    }
+
+    // Resolve: earliest pending branch-resolution event.
+    cand = resolveWheel_.nextEventTime(now_, cand);
+    return cand == ~Cycle{0} ? t0 : cand;
+}
+
+/**
+ * Jump to cycle @p t - 1 so the next stepCycle runs cycle @p t,
+ * performing exactly the state changes the skipped no-op iterations
+ * would have made: advancing the cycle counter and recycling the
+ * calendar slots that rolled out of the scheduling window.
+ */
+void
+OooCore::fastForwardTo(Cycle t)
+{
+    lbp_assert(t > now_ + 1);
+    const Cycle skip = t - 1 - now_;
+    const std::size_t cal_size = std::size_t{1} << calLog;
+    if (skip >= cal_size) {
+        std::fill(issueCal_.begin(), issueCal_.end(), 0);
+        std::fill(loadCal_.begin(), loadCal_.end(), 0);
+        std::fill(storeCal_.begin(), storeCal_.end(), 0);
+    } else {
+        const std::size_t mask = cal_size - 1;
+        for (Cycle c = now_; c <= t - 2; ++c) {
+            const std::size_t slot = static_cast<std::size_t>(c) & mask;
+            issueCal_[slot] = 0;
+            loadCal_[slot] = 0;
+            storeCal_[slot] = 0;
+        }
+    }
+    now_ = t - 1;
+    stats_.cycles += skip;
 }
 
 void
@@ -127,7 +274,7 @@ OooCore::retireStage()
         DynInst &di = inst(rob_.front());
         if (di.doneCycle >= now_)
             break;
-        rob_.pop_front();
+        rob_.popFront();
         if (di.cls == InstClass::Load) {
             lbp_assert(lqOcc_ > 0);
             --lqOcc_;
@@ -143,7 +290,8 @@ OooCore::retireStage()
 #endif
             if (scheme_)
                 scheme_->atRetire(di);
-            tage_.train(di.pc, di.actualDir, di.br.tage);
+            tage_.train(di.pc, di.actualDir, brRec(di).pred);
+            freeBrRec(di);
         }
         ++stats_.retiredInstrs;
         ++n;
@@ -157,10 +305,8 @@ OooCore::retireStage()
 void
 OooCore::resolveStage()
 {
-    while (!pendingResolve_.empty() &&
-           pendingResolve_.top().first <= now_) {
-        const InstSeq seq = pendingResolve_.top().second;
-        pendingResolve_.pop();
+    InstSeq seq = invalidSeq;
+    while (resolveWheel_.popDue(now_, seq)) {
         DynInst &di = inst(seq);
         if (di.seq != seq || !di.mispredicted)
             continue;  // squashed or corrected at alloc
@@ -194,12 +340,19 @@ OooCore::doFlush(DynInst &br)
 
     // O(1) global-state repair: restore the checkpoint taken before
     // this branch's own history push, then re-push the actual outcome.
-    tage_.restore(br.br.ckpt);
+    tage_.restore(brRec(br).ckpt);
     tage_.specUpdateHist(br.pc, br.actualDir);
     br.br.finalPred = br.actualDir;
 
     // Everything fetched after the branch is wrong-path and lives only
-    // in the fetch queue (wrong-path instructions never allocate).
+    // in the fetch queue (wrong-path instructions never allocate);
+    // their pooled branch records are dead with them.
+    for (std::size_t i = 0; i < fetchQueue_.size(); ++i) {
+        const InstSeq s = fetchQueue_[i];
+        DynInst &q = inst(s);
+        if (q.seq == s)
+            freeBrRec(q);
+    }
     fetchQueue_.clear();
     deferQueue_.clear();
     if (!rob_.empty())
@@ -222,12 +375,12 @@ OooCore::deferStage()
         const InstSeq s = deferQueue_.front();
         DynInst &di = inst(s);
         if (di.seq != s) {  // squashed and slot reused
-            deferQueue_.pop_front();
+            deferQueue_.popFront();
             continue;
         }
         if (di.fetchCycle + cfg_.core.deferDepth > now_)
             break;
-        deferQueue_.pop_front();
+        deferQueue_.popFront();
         if (scheme_) {
             const auto out = scheme_->atAlloc(di, now_);
             if (out.resteer)
@@ -262,7 +415,8 @@ OooCore::allocStage()
             // Consumes alloc bandwidth, then evaporates (its execution
             // is never simulated; its predictor side effects happened
             // at the defer stage).
-            fetchQueue_.pop_front();
+            freeBrRec(di);
+            fetchQueue_.popFront();
             ++n;
             continue;
         }
@@ -271,9 +425,9 @@ OooCore::allocStage()
         if (di.cls == InstClass::Store && sqOcc_ >= cfg_.core.storeQueue)
             break;
 
-        fetchQueue_.pop_front();
+        fetchQueue_.popFront();
         scheduleInst(di);
-        rob_.push_back(s);
+        rob_.pushBack(s);
         if (di.cls == InstClass::Load)
             ++lqOcc_;
         else if (di.cls == InstClass::Store)
@@ -292,12 +446,15 @@ OooCore::handleEarlyResteer(DynInst &br, bool new_dir)
     // descriptors for replay (the executor cannot rewind).
     while (!fetchQueue_.empty() &&
            inst(fetchQueue_.back()).seq > br.seq)
-        fetchQueue_.pop_back();
+        fetchQueue_.popBack();
     // The popped ones are re-collected in fetch order below.
     for (InstSeq s = br.seq + 1; s < nextSeq_; ++s) {
         DynInst &q = inst(s);
         if (q.seq != s)
             continue;
+        // Squashed branches (wrong- and true-path alike) release their
+        // pooled TAGE record; replayed ones get a fresh one at refetch.
+        freeBrRec(q);
         if (q.wrongPath)
             continue;
         Replayed r;
@@ -310,16 +467,16 @@ OooCore::handleEarlyResteer(DynInst &br, bool new_dir)
         r.desc.memAddr = q.memAddr;
         r.dynIdx = q.dynIdx;
         r.cursor = q.fetchCursor;
-        replay_.push_back(r);
+        replay_.pushBack(r);
         q.seq = invalidSeq;  // slot retired from circulation
     }
     while (!deferQueue_.empty() &&
            inst(deferQueue_.back()).seq > br.seq)
-        deferQueue_.pop_back();
+        deferQueue_.popBack();
 
     // Rewind the speculative global history to this branch and re-push
     // the new direction.
-    tage_.restore(br.br.ckpt);
+    tage_.restore(brRec(br).ckpt);
     tage_.specUpdateHist(br.pc, new_dir);
 
     if (new_dir == br.actualDir) {
@@ -419,7 +576,7 @@ OooCore::scheduleInst(DynInst &di)
     di.completed = true;
 
     if (di.isCond() && di.mispredicted)
-        pendingResolve_.push({di.doneCycle, di.seq});
+        resolveWheel_.schedule(di.doneCycle, di.seq, now_);
 }
 
 // ---------------------------------------------------------------------
@@ -456,7 +613,7 @@ OooCore::fetchStage()
                 desc = r.desc;
                 dyn_idx = r.dynIdx;
                 cursor_before = r.cursor;
-                replay_.pop_front();
+                replay_.popFront();
             } else {
                 cursor_before = exec_.cursor();
                 desc = exec_.next();
@@ -480,8 +637,10 @@ OooCore::fetchStage()
 
         bool fetch_break = false;
         if (di.isCond()) {
-            di.br.ckpt = tage_.checkpoint();
-            const bool tage_dir = tage_.predict(di.pc, di.br.tage);
+            di.br.tageRec = brPool_.alloc();
+            TageBranchRec &tr = brRec(di);
+            tage_.checkpoint(tr.ckpt);
+            const bool tage_dir = tage_.predict(di.pc, tr.pred);
             bool final_dir = tage_dir;
             if (scheme_) {
                 final_dir =
@@ -526,9 +685,9 @@ OooCore::fetchStage()
                 cfgAdvance(prog_, nav_, false);
         }
 
-        fetchQueue_.push_back(di.seq);
+        fetchQueue_.pushBack(di.seq);
         if (di.isCond() && scheme_)
-            deferQueue_.push_back(di.seq);
+            deferQueue_.pushBack(di.seq);
         ++n;
         if (fetch_break || now_ < fetchStallUntil_)
             break;
@@ -567,6 +726,9 @@ OooCore::makeInst(const DynInstDesc &desc, std::uint64_t dyn_idx,
 {
     const InstSeq seq = nextSeq_++;
     DynInst &di = inst(seq);
+    // Backstop: every squash/retire path frees its pooled record, but a
+    // leaked one must not survive slot reuse.
+    freeBrRec(di);
     di = DynInst{};
     di.seq = seq;
     di.pc = desc.pc;

@@ -27,13 +27,14 @@
 #define LBP_CORE_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "bpu/tage.hh"
+#include "common/event_wheel.hh"
+#include "common/ring_queue.hh"
 #include "common/types.hh"
+#include "core/branch_rec_pool.hh"
 #include "core/cache.hh"
 #include "core/dyn_inst.hh"
 #include "repair/scheme.hh"
@@ -169,6 +170,8 @@ class OooCore
     static constexpr unsigned ringLog = 13;
     static constexpr unsigned calLog = 10;
     static constexpr unsigned trueRingLog = 10;
+    /** Resolve-wheel span; doneCycles past it fall to the far list. */
+    static constexpr unsigned wheelLog = 11;
 
     DynInst &inst(InstSeq seq) { return ring_[seq & (ringSize() - 1)]; }
     static constexpr std::uint64_t ringSize() { return 1ull << ringLog; }
@@ -188,6 +191,23 @@ class OooCore
     DynInst &makeInst(const DynInstDesc &desc, std::uint64_t dyn_idx,
                       const CfgCursor &cursor, bool wrong_path);
 
+    Cycle nextWakeup();
+    void fastForwardTo(Cycle t);
+
+    /** Pooled TAGE baggage of an in-flight conditional branch. */
+    TageBranchRec &brRec(const DynInst &di)
+    {
+        return brPool_.get(di.br.tageRec);
+    }
+    /** Release a branch's pool record (idempotent). */
+    void freeBrRec(DynInst &di)
+    {
+        if (di.br.tageRec != BranchRecPool::invalid) {
+            brPool_.free(di.br.tageRec);
+            di.br.tageRec = BranchRecPool::invalid;
+        }
+    }
+
     const Program &prog_;
     SimConfig cfg_;
     Executor exec_;
@@ -197,7 +217,7 @@ class OooCore
 #ifdef LBP_AUDIT
     std::unique_ptr<SpecStateAuditor> auditor_;
 #endif
-    SetAssocTable<char> btb_;
+    FlatTagLru btb_;
 
     // Fetch state.
     CfgCursor nav_{};
@@ -205,21 +225,21 @@ class OooCore
     InstSeq divergeSeq_ = invalidSeq;
     Cycle fetchStallUntil_ = 0;
     Addr lastFetchLine_ = invalidAddr;
-    std::deque<InstSeq> fetchQueue_;
-    std::deque<InstSeq> deferQueue_;  ///< pending alloc-queue-entry checks
-    std::deque<Replayed> replay_;
+    RingQueue<InstSeq> fetchQueue_;
+    RingQueue<InstSeq> deferQueue_;  ///< pending alloc-queue-entry checks
+    RingQueue<Replayed> replay_;
 
     // Back-end state.
-    std::deque<InstSeq> rob_;
+    RingQueue<InstSeq> rob_;
     unsigned lqOcc_ = 0;
     unsigned sqOcc_ = 0;
     std::vector<std::uint8_t> issueCal_;
     std::vector<std::uint8_t> loadCal_;
     std::vector<std::uint8_t> storeCal_;
-    std::priority_queue<std::pair<Cycle, InstSeq>,
-                        std::vector<std::pair<Cycle, InstSeq>>,
-                        std::greater<>>
-        pendingResolve_;
+    /** Branch-resolution events, fired by resolveStage. */
+    EventWheel resolveWheel_;
+    /** TAGE pred/checkpoint storage for in-flight branches. */
+    BranchRecPool brPool_;
 
     std::vector<DynInst> ring_;
     std::vector<InstSeq> trueSeqRing_;

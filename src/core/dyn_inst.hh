@@ -16,17 +16,26 @@
 #include <cstdint>
 
 #include "bpu/predictor.hh"
-#include "bpu/tage.hh"
 #include "common/types.hh"
 #include "workload/program.hh"
 
 namespace lbp {
 
-/** Branch-prediction state carried by an in-flight conditional branch. */
+/**
+ * Branch-prediction state carried by an in-flight conditional branch.
+ *
+ * The heavyweight TAGE state (per-table indices/tags and the global
+ * checkpoint) lives in the core's BranchRecPool, referenced by
+ * tageRec; only the core's fetch/retire/flush paths touch it. What
+ * stays inline is the slim state the repair schemes and the auditor
+ * read.
+ */
 struct BranchRec
 {
-    TagePred tage;
-    TageCheckpoint ckpt;    ///< speculative global state before this branch
+    /** BranchRecPool slot for the TAGE pred+checkpoint baggage
+     *  (BranchRecPool::invalid when none is held). */
+    std::uint32_t tageRec = 0xffffffffu;
+
     LocalPred local;        ///< local predictor lookup at fetch (or alloc)
 
     bool finalPred = false; ///< pipeline's current direction for fetch

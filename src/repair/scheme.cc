@@ -39,13 +39,16 @@ RepairScheme::logSpecUpdate(InstSeq seq, Addr pc)
     updateLogPos_ = (updateLogPos_ + 1) % updateLog_.size();
 }
 
-std::vector<Addr>
-RepairScheme::pollutedListSince(InstSeq seq) const
+const std::vector<Addr> &
+RepairScheme::pollutedScratchSince(InstSeq seq) const
 {
     // Walk the update log backwards collecting distinct PCs updated at
     // or after the mispredicting branch. Seqs are monotonic in fetch
-    // order, so the walk stops at the first older record.
-    std::vector<Addr> distinct;
+    // order, so the walk stops at the first older record. The scratch
+    // buffer is a member so the every-misprediction count stays
+    // allocation-free.
+    std::vector<Addr> &distinct = pollutedScratch_;
+    distinct.clear();
     std::size_t pos = updateLogPos_;
     for (std::size_t n = 0; n < updateLog_.size(); ++n) {
         pos = (pos + updateLog_.size() - 1) % updateLog_.size();
@@ -60,10 +63,16 @@ RepairScheme::pollutedListSince(InstSeq seq) const
     return distinct;
 }
 
+std::vector<Addr>
+RepairScheme::pollutedListSince(InstSeq seq) const
+{
+    return pollutedScratchSince(seq);
+}
+
 unsigned
 RepairScheme::pollutedPcsSince(InstSeq seq) const
 {
-    return static_cast<unsigned>(pollutedListSince(seq).size());
+    return static_cast<unsigned>(pollutedScratchSince(seq).size());
 }
 
 RepairScheme::PredictOutcome

@@ -247,9 +247,14 @@ class RepairScheme
     SignedSatCounter withLoop_;
 
   private:
+    const std::vector<Addr> &pollutedScratchSince(InstSeq seq) const;
+
     /** Ring of recent speculative updates (seq, pc). */
     std::vector<std::pair<InstSeq, Addr>> updateLog_;
     std::size_t updateLogPos_ = 0;
+    /** Scratch for the per-misprediction pollution count — reused so
+     *  the hot resolve path never allocates. */
+    mutable std::vector<Addr> pollutedScratch_;
 };
 
 /**

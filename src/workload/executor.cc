@@ -19,11 +19,14 @@ Executor::streamAddr(const StaticInst &si)
 {
     const MemStream &ms = prog_.streams[si.stream];
     const std::uint64_t k = streamPos_[si.stream]++;
+    // footprint is asserted power-of-two at build time, so the wrap is a
+    // mask — the % spelling costs a hardware divide per memory access.
+    const std::uint64_t wrap = ms.footprint - 1;
     std::uint64_t offset;
     if (ms.randomized)
-        offset = splitmix64(k ^ ms.seed) % ms.footprint;
+        offset = splitmix64(k ^ ms.seed) & wrap;
     else
-        offset = (k * ms.stride) % ms.footprint;
+        offset = (k * ms.stride) & wrap;
     return ms.base + (offset & ~static_cast<std::uint64_t>(7));
 }
 

@@ -71,22 +71,4 @@ Program::validate() const
     }
 }
 
-void
-cfgAdvance(const Program &prog, CfgCursor &cur, bool taken)
-{
-    const BasicBlock &bb = prog.blocks[cur.block];
-    if (cur.slot + 1 < bb.body.size()) {
-        ++cur.slot;
-        return;
-    }
-    // Past the last instruction of the block: follow the terminator.
-    if (bb.branchId >= 0)
-        cur.block = taken ? bb.takenTarget : bb.fallThrough;
-    else if (bb.endsWithJump)
-        cur.block = bb.takenTarget;
-    else
-        cur.block = bb.fallThrough;
-    cur.slot = 0;
-}
-
 } // namespace lbp

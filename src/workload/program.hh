@@ -139,7 +139,23 @@ struct CfgCursor
  * (predicted on the wrong path, actual on the true path); for plain
  * instructions the direction argument is ignored.
  */
-void cfgAdvance(const Program &prog, CfgCursor &cur, bool taken);
+inline void
+cfgAdvance(const Program &prog, CfgCursor &cur, bool taken)
+{
+    const BasicBlock &bb = prog.blocks[cur.block];
+    if (cur.slot + 1 < bb.body.size()) {
+        ++cur.slot;
+        return;
+    }
+    // Past the last instruction of the block: follow the terminator.
+    if (bb.branchId >= 0)
+        cur.block = taken ? bb.takenTarget : bb.fallThrough;
+    else if (bb.endsWithJump)
+        cur.block = bb.takenTarget;
+    else
+        cur.block = bb.fallThrough;
+    cur.slot = 0;
+}
 
 /** The static instruction under the cursor. */
 inline const StaticInst &

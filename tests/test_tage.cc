@@ -17,7 +17,7 @@ namespace {
 bool
 step(TagePredictor &tage, Addr pc, bool actual)
 {
-    TagePred p;
+    TagePredStorage p;
     const bool pred = tage.predict(pc, p);
     tage.specUpdateHist(pc, actual);  // perfect front-end: push actual
     tage.train(pc, actual, p);
@@ -130,8 +130,9 @@ TEST(Tage, CheckpointRestoreRoundTrip)
     for (unsigned i = 0; i < 500; ++i)
         step(tage, 0x400000 + 4 * (i % 7), rng.chance(0.6));
 
-    const TageCheckpoint ckpt = tage.checkpoint();
-    TagePred before;
+    TageCheckpointStorage ckpt;
+    tage.checkpoint(ckpt);
+    TagePredStorage before;
     tage.predict(0x400abc, before);
 
     // Wander down a "wrong path" of speculative pushes.
@@ -139,13 +140,12 @@ TEST(Tage, CheckpointRestoreRoundTrip)
         tage.specUpdateHist(0x400f00 + 4 * i, (i & 3) == 0);
 
     tage.restore(ckpt);
-    TagePred after;
+    TagePredStorage after;
     tage.predict(0x400abc, after);
 
     EXPECT_EQ(before.pred, after.pred);
     EXPECT_EQ(before.provider, after.provider);
-    EXPECT_EQ(before.indices, after.indices);
-    EXPECT_EQ(before.tags, after.tags);
+    EXPECT_EQ(before.buf, after.buf);  // all per-table indices + tags
 }
 
 TEST(Tage, ConfigStorageBudgets)

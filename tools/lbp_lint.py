@@ -27,6 +27,16 @@ Rules (each finding is printed as ``rule:file:line: message``):
       implementation site — so determinism, exception propagation,
       shutdown, and TSan coverage stay centralized.
 
+  no-hot-path-alloc
+      The per-cycle stage functions in src/core/core.cc and the
+      predict/update paths in src/bpu/tage.cc must not allocate:
+      no ``new``/``make_unique``/``make_shared`` and no growing
+      std::vector calls (push_back/emplace_back/resize/reserve).
+      The hot path runs once per simulated cycle/prediction — all
+      storage is preallocated at construction (rings, pools, arenas).
+      Construction-time code inside a hot function (rare) may carry an
+      explicit ``// lint:allow-hot-alloc`` marker on the flagged line.
+
   stats-counter-reported
       Every counter field registered in a ``*Stats`` struct in src/
       must be referenced by the reporting layer (src/sim/, tools/,
@@ -212,6 +222,68 @@ def check_banned_calls(path, stripped, findings):
                 rule, path, line_of(stripped, m.start()), message))
 
 
+# Hot-path allocation rule: file suffix -> function names whose bodies
+# must stay allocation-free. These are the once-per-cycle /
+# once-per-prediction paths; everything they touch is preallocated
+# (DynInst ring, branch-record pool, calendar wheels, TAGE arena).
+HOT_ALLOC_FUNCS = {
+    "core/core.cc": [
+        "stepCycle", "retireStage", "resolveStage", "deferStage",
+        "allocStage", "fetchStage", "scheduleInst", "doFlush",
+        "handleEarlyResteer", "makeInst", "nextWakeup",
+        "fastForwardTo", "btbCheck", "icacheCheck",
+    ],
+    "bpu/tage.cc": [
+        "predict", "specUpdateHist", "checkpoint", "restore", "train",
+    ],
+}
+
+HOT_ALLOC_PATTERN = re.compile(
+    r"\bnew\b|\bmake_unique\s*<|\bmake_shared\s*<|"
+    r"\.\s*(?:push_back|emplace_back|resize|reserve)\s*\(")
+
+HOT_ALLOC_ALLOW = "lint:allow-hot-alloc"
+
+
+def check_hot_path_alloc(path, raw, stripped, findings):
+    posix = str(path).replace("\\", "/")
+    funcs = None
+    for suffix, names in HOT_ALLOC_FUNCS.items():
+        if posix.endswith(suffix):
+            funcs = names
+            break
+    if funcs is None:
+        return
+    raw_lines = raw.splitlines()
+    for name in funcs:
+        for m in re.finditer(r"::\s*%s\s*\(" % name, stripped):
+            # Skip declarations: a ';' before the first '{' means this
+            # match has no body here.
+            brace = stripped.find("{", m.end())
+            semi = stripped.find(";", m.end())
+            if brace < 0 or (0 <= semi < brace):
+                continue
+            depth = 1
+            j = brace + 1
+            while j < len(stripped) and depth:
+                if stripped[j] == "{":
+                    depth += 1
+                elif stripped[j] == "}":
+                    depth -= 1
+                j += 1
+            body = stripped[brace:j]
+            for am in HOT_ALLOC_PATTERN.finditer(body):
+                line = line_of(stripped, brace + am.start())
+                if HOT_ALLOC_ALLOW in raw_lines[line - 1]:
+                    continue
+                findings.append(Finding(
+                    "no-hot-path-alloc", path, line,
+                    f"allocation in hot function {name}(): the "
+                    f"per-cycle path must use preallocated "
+                    f"pools/rings (construction-time code may carry "
+                    f"'// {HOT_ALLOC_ALLOW}')"))
+
+
 STATS_FIELD = re.compile(
     r"\b(?:std::uint64_t|Distribution)\s+(\w+)\s*[=;]")
 
@@ -303,6 +375,7 @@ def lint_tree(repo_root, src_root, check_stats=True):
         stripped = strip_comments_and_strings(raw)
         check_predictor_interface(path, stripped, findings)
         check_banned_calls(path, stripped, findings)
+        check_hot_path_alloc(path, raw, stripped, findings)
         check_include_hygiene(src_root, path, raw, stripped, findings)
     if check_stats:
         check_stats_reported(repo_root, src_root, findings)
@@ -336,6 +409,7 @@ def self_test(repo_root):
         "bad_thread.cc": {"no-raw-thread"},
         "bad_stats.hh": {"stats-counter-reported"},
         "bad_include.hh": {"include-guard", "no-parent-include"},
+        "core.cc": {"no-hot-path-alloc"},
     }
     ok = True
     for name, rules in expect.items():
@@ -345,6 +419,15 @@ def self_test(repo_root):
                 print(f"lbp_lint self-test: {name} should trigger "
                       f"{rule} but did not")
                 ok = False
+    # The hot-alloc fixture seeds exactly two violations; more means
+    # the allow-marker or the hot-function scoping regressed.
+    hot = [f for f in findings
+           if f.rule == "no-hot-path-alloc"
+           and Path(f.path).name == "core.cc"]
+    if len(hot) != 2:
+        print(f"lbp_lint self-test: core.cc should trigger exactly 2 "
+              f"no-hot-path-alloc findings, got {len(hot)}")
+        ok = False
     for name in ("clean.hh", "reporting.cc"):
         extra = by_file.get(name, set())
         if extra:

@@ -1,0 +1,42 @@
+// Seeded violation: a growing-vector call inside a hot stage function
+// of a file named core/core.cc. lbp_lint must flag no-hot-path-alloc
+// for the push_back in stepCycle() and for the new in fetchStage(),
+// accept the explicitly-marked construction-time line in makeInst(),
+// and ignore the allocation in the non-hot helper.
+
+#include <vector>
+
+struct FakeCore
+{
+    void stepCycle();
+    void fetchStage();
+    void makeInst();
+    void coldHelper();
+    std::vector<int> retired_;
+    int *scratch_ = nullptr;
+};
+
+void
+FakeCore::stepCycle()
+{
+    retired_.push_back(1);  // must be flagged
+}
+
+void
+FakeCore::fetchStage()
+{
+    scratch_ = new int[4];  // must be flagged
+}
+
+void
+FakeCore::makeInst()
+{
+    retired_.reserve(64);  // lint:allow-hot-alloc (one-time lazy init)
+}
+
+void
+FakeCore::coldHelper()
+{
+    // Not in the hot-function list: growing here is fine.
+    retired_.push_back(2);
+}

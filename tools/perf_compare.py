@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Compare measured throughput telemetry against a committed baseline.
+
+Usage:
+    perf_compare.py --baseline bench/baseline_throughput.json \
+        [--out BENCH_throughput.json] measured.json [measured.json ...]
+
+Each measured file is a telemetry dump written by lbpsim
+(--throughput-json) or by the benches (REPRO_THROUGHPUT_JSON) — the
+format produced by TelemetryRegistry::toJson(). Records are matched to
+baseline entries by their ``label``.
+
+The gate is WARN-ONLY by design: shared CI runners vary widely in
+absolute speed, so a hard Minstr/s floor would flap. The committed
+baseline records reference numbers from one machine plus a
+``tolerance_fraction``; a measured label running more than that
+fraction below its baseline emits a GitHub ``::warning`` annotation
+(visible on the run summary) but never fails the job. The real signal
+is the trajectory of the uploaded BENCH_throughput.json artifacts over
+time. The exit code is non-zero only for operational errors (missing
+or malformed files), never for slow measurements.
+
+With --out, the measured records are merged into a single telemetry
+JSON (same shape as the inputs) so the CI job has one artifact to
+upload regardless of how many processes produced telemetry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_records(path: str) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    suites = data.get("suites")
+    if not isinstance(suites, list):
+        raise ValueError(f"{path}: no 'suites' array")
+    return suites
+
+
+def merge_json(records: list[dict], bench: str) -> dict:
+    total_instrs = sum(int(r.get("sim_instrs", 0)) for r in records)
+    total_wall = sum(float(r.get("wall_s", 0.0)) for r in records)
+    return {
+        "bench": bench,
+        "suites_run": len(records),
+        "memo_hits": sum(1 for r in records if r.get("memo_hit")),
+        "total_sim_instrs": total_instrs,
+        "total_wall_s": round(total_wall, 6),
+        "minstr_per_s": round(total_instrs / total_wall / 1e6, 6)
+        if total_wall > 0
+        else 0.0,
+        "suites": records,
+    }
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--out", help="write merged telemetry JSON here")
+    ap.add_argument("measured", nargs="+")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::error::perf_compare: cannot read baseline: {e}")
+        return 1
+
+    tolerance = float(baseline.get("tolerance_fraction", 0.4))
+    expected = {b["label"]: b for b in baseline.get("baselines", [])}
+
+    records: list[dict] = []
+    for path in args.measured:
+        try:
+            records.extend(load_records(path))
+        except (OSError, ValueError) as e:
+            print(f"::error::perf_compare: {e}")
+            return 1
+
+    measured = {}
+    for r in records:
+        if not r.get("memo_hit") and float(r.get("wall_s", 0.0)) > 0:
+            # Last record wins if a label repeats within one run.
+            measured[r.get("label", "?")] = r
+
+    warned = 0
+    for label, base in expected.items():
+        want = float(base["minstr_per_s"])
+        floor = want * (1.0 - tolerance)
+        got = measured.get(label)
+        if got is None:
+            print(
+                f"::warning::perf-smoke: baseline label '{label}' "
+                f"was not measured this run"
+            )
+            warned += 1
+            continue
+        speed = float(got["minstr_per_s"])
+        verdict = "OK" if speed >= floor else "SLOW"
+        print(
+            f"perf-smoke: {label:40s} {speed:8.2f} Minstr/s "
+            f"(baseline {want:.2f}, floor {floor:.2f}) {verdict}"
+        )
+        if speed < floor:
+            print(
+                f"::warning::perf-smoke: '{label}' ran at "
+                f"{speed:.2f} Minstr/s, more than "
+                f"{tolerance:.0%} below the committed baseline "
+                f"of {want:.2f} (warn-only; see "
+                f"bench/baseline_throughput.json)"
+            )
+            warned += 1
+
+    for label in measured:
+        if label not in expected:
+            print(f"perf-smoke: {label}: no committed baseline (info)")
+
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as f:
+                json.dump(merge_json(records, "perf-smoke"), f, indent=2)
+                f.write("\n")
+        except OSError as e:
+            print(f"::error::perf_compare: cannot write {args.out}: {e}")
+            return 1
+
+    print(
+        f"perf-smoke: {len(measured)} labels measured, "
+        f"{len(expected)} baselined, {warned} warnings (warn-only)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
