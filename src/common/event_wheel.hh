@@ -34,19 +34,25 @@
 
 namespace lbp {
 
+/** Calendar-wheel event queue; see the file comment for the ordering
+ *  contract that makes it a bit-identical heap replacement. */
 class EventWheel
 {
   public:
     using Event = std::pair<Cycle, std::uint64_t>;  ///< (time, value)
 
+    /** Wheel with 2^log2_slots one-cycle slots. */
     explicit EventWheel(unsigned log2_slots)
         : slots_(std::size_t{1} << log2_slots),
           mask_((std::size_t{1} << log2_slots) - 1)
     {
     }
 
+    /** Pending events, wheel-resident plus far-future overflow. */
     std::size_t size() const { return count_; }
+    /** True when nothing is scheduled. */
     bool empty() const { return count_ == 0; }
+    /** Number of one-cycle wheel slots (the direct-file window). */
     std::size_t slotCount() const { return mask_ + 1; }
 
     /** Schedule @p value at @p t (must be > @p now). */

@@ -26,6 +26,7 @@
 
 namespace lbp {
 
+/** Fixed-capacity contiguous FIFO/deque; see the file comment. */
 template <typename T>
 class RingQueue
 {
@@ -40,14 +41,19 @@ class RingQueue
         buf_.resize(cap);
     }
 
+    /** True when no elements are queued. */
     bool empty() const { return head_ == tail_; }
+    /** Current occupancy. */
     std::size_t size() const
     {
         return static_cast<std::size_t>(tail_ - head_);
     }
+    /** Fixed capacity chosen at construction (a power of two). */
     std::size_t capacity() const { return mask_ + 1; }
+    /** True when a pushBack would overflow. */
     bool full() const { return size() == capacity(); }
 
+    /** Append at the tail; asserts the ring is not full. */
     void pushBack(const T &v)
     {
         lbp_assert(!full() && "RingQueue overflow: capacity must cover "
@@ -56,6 +62,7 @@ class RingQueue
         ++tail_;
     }
 
+    /** Oldest element; asserts non-empty. */
     T &front()
     {
         lbp_assert(!empty());
@@ -66,6 +73,7 @@ class RingQueue
         lbp_assert(!empty());
         return buf_[head_ & mask_];
     }
+    /** Newest element; asserts non-empty. */
     T &back()
     {
         lbp_assert(!empty());
@@ -89,16 +97,19 @@ class RingQueue
         return buf_[(head_ + i) & mask_];
     }
 
+    /** Drop the oldest element; asserts non-empty. */
     void popFront()
     {
         lbp_assert(!empty());
         ++head_;
     }
+    /** Drop the newest element; asserts non-empty. */
     void popBack()
     {
         lbp_assert(!empty());
         --tail_;
     }
+    /** Drop everything; capacity and storage are untouched. */
     void clear() { head_ = tail_ = 0; }
 
   private:

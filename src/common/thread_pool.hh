@@ -44,6 +44,8 @@ namespace lbp {
  */
 unsigned resolveJobs(unsigned requested);
 
+/** Fixed-size worker pool; see the file comment for the determinism
+ *  and exception-propagation contract. */
 class ThreadPool
 {
   public:
@@ -56,6 +58,7 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
+    /** Number of worker threads actually spawned. */
     unsigned
     workerCount() const
     {

@@ -294,6 +294,9 @@ OooCore::retireStage()
             freeBrRec(di);
         }
         ++stats_.retiredInstrs;
+        if (tracer_)
+            tracer_->stage(TraceStage::Retire, now_, now_, di.seq,
+                           di.pc, false);
         ++n;
     }
 }
@@ -319,6 +322,16 @@ OooCore::doFlush(DynInst &br)
 {
     ++stats_.mispredicts;
     br.mispredicted = false;
+
+    // Forensics: snapshot the repair-work counters so the per-squash
+    // record can report the walk this flush triggered as a delta (the
+    // same pre/post pattern the LBP_AUDIT coverage check uses below).
+    std::uint64_t pre_walk = 0;
+    std::uint64_t pre_writes = 0;
+    if (tracer_ && scheme_) {
+        pre_walk = scheme_->stats().walkLength.sum();
+        pre_writes = scheme_->stats().repairWrites;
+    }
 
     // Local-predictor repair runs against the pre-squash OBQ contents.
     if (scheme_) {
@@ -360,6 +373,38 @@ OooCore::doFlush(DynInst &br)
 
     wrongPath_ = false;
     fetchStallUntil_ = std::max(fetchStallUntil_, now_ + 1);
+
+    if (tracer_) {
+        tracer_->stage(TraceStage::Resolve, now_, now_, br.seq, br.pc,
+                       false);
+        tracer_->stage(TraceStage::Squash, now_, now_, br.seq, br.pc,
+                       false);
+        SquashRecord rec;
+        rec.cycle = now_;
+        rec.pc = br.pc;
+        rec.seq = br.seq;
+        if (br.br.earlyResteered)
+            rec.source = MispredictSource::BhtDefer;
+        else if (br.br.usedLoop)
+            rec.source = MispredictSource::LoopOverride;
+        else if (brRec(br).pred.provider >= 0)
+            rec.source = MispredictSource::TageTable;
+        else
+            rec.source = MispredictSource::Bimodal;
+        rec.provider = brRec(br).pred.provider;
+        rec.resolveLatency = now_ - br.fetchCycle;
+        rec.wrongPathFetched = static_cast<std::uint32_t>(
+            stats_.wrongPathFetched - tracer_->wrongPathAtDiverge());
+        rec.obqOccupancy = scheme_ ? scheme_->obqOccupancy() : 0;
+        rec.robOccupancy = static_cast<std::uint32_t>(rob_.size());
+        if (scheme_) {
+            rec.walkLength = static_cast<std::uint32_t>(
+                scheme_->stats().walkLength.sum() - pre_walk);
+            rec.repairWrites = static_cast<std::uint32_t>(
+                scheme_->stats().repairWrites - pre_writes);
+        }
+        tracer_->squash(rec);
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -415,6 +460,9 @@ OooCore::allocStage()
             // Consumes alloc bandwidth, then evaporates (its execution
             // is never simulated; its predictor side effects happened
             // at the defer stage).
+            if (tracer_)
+                tracer_->stage(TraceStage::Alloc, di.fetchCycle, now_,
+                               di.seq, di.pc, true);
             freeBrRec(di);
             fetchQueue_.popFront();
             ++n;
@@ -426,6 +474,9 @@ OooCore::allocStage()
             break;
 
         fetchQueue_.popFront();
+        if (tracer_)
+            tracer_->stage(TraceStage::Alloc, di.fetchCycle, now_,
+                           di.seq, di.pc, false);
         scheduleInst(di);
         rob_.pushBack(s);
         if (di.cls == InstClass::Load)
@@ -440,6 +491,9 @@ void
 OooCore::handleEarlyResteer(DynInst &br, bool new_dir)
 {
     ++stats_.earlyResteers;
+    if (tracer_)
+        tracer_->stage(TraceStage::Resteer, now_, now_, br.seq, br.pc,
+                       false);
 
     // Queued instructions younger than the resteering branch vanish;
     // true-path ones must be re-fetchable afterwards, so stash their
@@ -492,6 +546,8 @@ OooCore::handleEarlyResteer(DynInst &br, bool new_dir)
         // (scheduleInst arms the resolve event right after this hook).
         br.mispredicted = true;
         wrongPath_ = true;
+        if (tracer_)
+            tracer_->noteDiverge(stats_.wrongPathFetched);
         nav_ = br.fetchCursor;
         cfgAdvance(prog_, nav_, new_dir);
     }
@@ -574,6 +630,9 @@ OooCore::scheduleInst(DynInst &di)
 
     di.doneCycle = t + lat;
     di.completed = true;
+    if (tracer_)
+        tracer_->stage(TraceStage::Issue, t, di.doneCycle, di.seq,
+                       di.pc, false);
 
     if (di.isCond() && di.mispredicted)
         resolveWheel_.schedule(di.doneCycle, di.seq, now_);
@@ -634,6 +693,9 @@ OooCore::fetchStage()
 
         DynInst &di =
             makeInst(desc, dyn_idx, cursor_before, wrongPath_);
+        if (tracer_)
+            tracer_->stage(TraceStage::Fetch, now_, now_, di.seq,
+                           di.pc, di.wrongPath);
 
         bool fetch_break = false;
         if (di.isCond()) {
@@ -663,6 +725,8 @@ OooCore::fetchStage()
                     // Fetch sails on down the wrong edge.
                     wrongPath_ = true;
                     divergeSeq_ = di.seq;
+                    if (tracer_)
+                        tracer_->noteDiverge(stats_.wrongPathFetched);
                     nav_ = cursor_before;
                     cfgAdvance(prog_, nav_, final_dir);
                 }

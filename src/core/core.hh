@@ -37,6 +37,7 @@
 #include "core/branch_rec_pool.hh"
 #include "core/cache.hh"
 #include "core/dyn_inst.hh"
+#include "obs/trace.hh"
 #include "repair/scheme.hh"
 #include "workload/executor.hh"
 #include "workload/program.hh"
@@ -86,6 +87,12 @@ struct SimConfig
      */
     bool audit = true;
     bool auditPanic = false;  ///< abort on the first audit violation
+    /**
+     * Observability switches (tracing / forensics). Purely
+     * observational — never changes simulated behavior, so it is
+     * excluded from the suite-cache config key (suite_cache.cc).
+     */
+    ObsConfig obs{};
 };
 
 /** Plain counters; snapshot-and-subtract for warm-up exclusion. */
@@ -146,6 +153,15 @@ class OooCore
 
     const CoreStats &stats() const { return stats_; }
     TagePredictor &tage() { return tage_; }
+
+    /**
+     * Attach a pipeline tracer (src/obs). The core never owns it; pass
+     * nullptr to detach. Every pipeline hook is guarded by a null test,
+     * so an unattached core pays nothing, and the tracer only reads
+     * simulation state — attaching one cannot change results.
+     */
+    void attachTracer(PipelineTracer *tracer) { tracer_ = tracer; }
+
     RepairScheme *scheme() { return scheme_.get(); }
     const MemoryHierarchy &mem() const { return mem_; }
     Cycle now() const { return now_; }
@@ -246,6 +262,8 @@ class OooCore
     InstSeq nextSeq_ = 0;
     Cycle now_ = 0;
     CoreStats stats_;
+    /** Observability hooks; null (the default) = zero-cost off. */
+    PipelineTracer *tracer_ = nullptr;
 };
 
 } // namespace lbp

@@ -1,0 +1,226 @@
+#include "obs/metrics.hh"
+
+#include <ostream>
+
+#include "sim/runner.hh"
+
+namespace lbp {
+
+std::uint64_t
+FixedHistogram::bucketTotal() const
+{
+    std::uint64_t total = 0;
+    for (unsigned b = 0; b < numBuckets; ++b)
+        total += buckets_[b];
+    return total;
+}
+
+void
+MetricsRegistry::counter(std::string name, std::string unit,
+                         std::string help, std::uint64_t value)
+{
+    scalars_.push_back(Metric{std::move(name), std::move(unit),
+                              std::move(help),
+                              static_cast<double>(value), true});
+}
+
+void
+MetricsRegistry::gauge(std::string name, std::string unit,
+                       std::string help, double value)
+{
+    scalars_.push_back(Metric{std::move(name), std::move(unit),
+                              std::move(help), value, false});
+}
+
+void
+MetricsRegistry::histogram(std::string name, std::string unit,
+                           std::string help, const FixedHistogram &hist)
+{
+    hists_.push_back(NamedHistogram{std::move(name), std::move(unit),
+                                    std::move(help), hist});
+}
+
+namespace {
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"scalars\": [\n";
+    for (std::size_t i = 0; i < scalars_.size(); ++i) {
+        const Metric &m = scalars_[i];
+        os << "    {\"name\": ";
+        jsonString(os, m.name);
+        os << ", \"unit\": ";
+        jsonString(os, m.unit);
+        os << ", \"help\": ";
+        jsonString(os, m.help);
+        os << ", \"value\": ";
+        if (m.integral)
+            os << static_cast<std::uint64_t>(m.value);
+        else
+            os << m.value;
+        os << '}' << (i + 1 < scalars_.size() ? "," : "") << '\n';
+    }
+    os << "  ],\n  \"histograms\": [\n";
+    for (std::size_t i = 0; i < hists_.size(); ++i) {
+        const NamedHistogram &h = hists_[i];
+        os << "    {\"name\": ";
+        jsonString(os, h.name);
+        os << ", \"unit\": ";
+        jsonString(os, h.unit);
+        os << ", \"help\": ";
+        jsonString(os, h.help);
+        os << ", \"count\": " << h.hist.count()
+           << ", \"sum\": " << h.hist.sum()
+           << ", \"max\": " << h.hist.max() << ", \"buckets\": [";
+        for (unsigned b = 0; b < FixedHistogram::numBuckets; ++b)
+            os << (b ? "," : "") << h.hist.bucket(b);
+        os << "]}" << (i + 1 < hists_.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+namespace {
+
+double
+u64Field(std::uint64_t v)
+{
+    return static_cast<double>(v);
+}
+
+} // namespace
+
+const std::vector<RunMetricDesc> &
+runMetrics()
+{
+    // Column order is the historical lbpsim CSV order — downstream
+    // plotting scripts key on these exact names; append, never reorder.
+    static const std::vector<RunMetricDesc> table = {
+        {"ipc", "instr/cycle",
+         "Retired instructions per cycle over the measurement window "
+         "(Figures 5/7/9 speedups derive from IPC ratios)",
+         false, [](const RunResult &r) { return r.ipc; }},
+        {"mpki", "misp/kinstr",
+         "Mispredictions per 1000 retired instructions (Figures 4/6)",
+         false, [](const RunResult &r) { return r.mpki; }},
+        {"mispredicts", "count",
+         "Execute-time misprediction flushes in the measurement window",
+         true,
+         [](const RunResult &r) { return u64Field(r.stats.mispredicts); }},
+        {"instructions", "count",
+         "True-path instructions retired in the measurement window",
+         true,
+         [](const RunResult &r) {
+             return u64Field(r.stats.retiredInstrs);
+         }},
+        {"cycles", "cycles", "Cycles simulated in the measurement window",
+         true, [](const RunResult &r) { return u64Field(r.stats.cycles); }},
+        {"retired_cond", "count",
+         "Conditional branches retired in the measurement window", true,
+         [](const RunResult &r) { return u64Field(r.stats.retiredCond); }},
+        {"fetched", "count",
+         "Instructions fetched (true- and wrong-path)", true,
+         [](const RunResult &r) {
+             return u64Field(r.stats.fetchedInstrs);
+         }},
+        {"wrong_path_fetched", "count",
+         "Wrong-path instructions fetched after mispredicted branches "
+         "(the pollution source of section 2)",
+         true,
+         [](const RunResult &r) {
+             return u64Field(r.stats.wrongPathFetched);
+         }},
+        {"btb_misses", "count", "BTB misses charged the resteer penalty",
+         true, [](const RunResult &r) { return u64Field(r.stats.btbMisses); }},
+        {"overrides", "count",
+         "Local-predictor overrides of the TAGE direction (whole run)",
+         true, [](const RunResult &r) { return u64Field(r.overrides); }},
+        {"overrides_correct", "count",
+         "Overrides whose direction matched the architectural outcome",
+         true,
+         [](const RunResult &r) { return u64Field(r.overridesCorrect); }},
+        {"repairs", "count",
+         "Repair episodes triggered by mispredictions (whole run)", true,
+         [](const RunResult &r) { return u64Field(r.repairs); }},
+        {"repair_writes", "count",
+         "BHT writes performed by repair walks (whole run)", true,
+         [](const RunResult &r) { return u64Field(r.repairWrites); }},
+        {"early_resteers", "count",
+         "Alloc-stage resteers fired by the multi-stage BHT-Defer "
+         "(section 3.2)",
+         true,
+         [](const RunResult &r) { return u64Field(r.earlyResteers); }},
+        {"early_resteers_wrong", "count",
+         "Early resteers whose deferred direction was itself wrong", true,
+         [](const RunResult &r) {
+             return u64Field(r.earlyResteersWrong);
+         }},
+        {"uncheckpointed", "count",
+         "Mispredictions with no protecting checkpoint (OBQ overflow — "
+         "the unprotected-PC case of section 2.6)",
+         true,
+         [](const RunResult &r) {
+             return u64Field(r.uncheckpointedMispredicts);
+         }},
+        {"denied_predictions", "count",
+         "Lookups declined because the BHT was busy repairing "
+         "(section 2.5 availability cost)",
+         true,
+         [](const RunResult &r) { return u64Field(r.deniedPredictions); }},
+        {"skipped_spec_updates", "count",
+         "Speculative BHT updates skipped while the table was busy",
+         true,
+         [](const RunResult &r) {
+             return u64Field(r.skippedSpecUpdates);
+         }},
+        {"avg_walk_length", "entries",
+         "Mean OBQ entries examined per repair walk (Figure 8 shape)",
+         false, [](const RunResult &r) { return r.avgWalkLength; }},
+        {"audit_checks", "count",
+         "Invariant-auditor recovery+retire checks (LBP_AUDIT builds)",
+         true, [](const RunResult &r) { return u64Field(r.auditChecks); }},
+        {"audit_violations", "count",
+         "Invariant-auditor violations (must be 0)", true,
+         [](const RunResult &r) { return u64Field(r.auditViolations); }},
+        {"cache_accesses", "count",
+         "Cache-hierarchy accesses, all levels (whole run)", true,
+         [](const RunResult &r) { return u64Field(r.cacheAccesses); }},
+        {"cache_misses", "count",
+         "Cache-hierarchy misses, all levels (whole run)", true,
+         [](const RunResult &r) { return u64Field(r.cacheMisses); }},
+        {"cache_prefetch_fills", "count",
+         "Lines installed by the next-line prefetcher", true,
+         [](const RunResult &r) {
+             return u64Field(r.cachePrefetchFills);
+         }},
+    };
+    return table;
+}
+
+void
+registerRunMetrics(MetricsRegistry &reg, const RunResult &r)
+{
+    for (const RunMetricDesc &d : runMetrics()) {
+        if (d.integral)
+            reg.counter(d.name, d.unit, d.help,
+                        static_cast<std::uint64_t>(d.get(r)));
+        else
+            reg.gauge(d.name, d.unit, d.help, d.get(r));
+    }
+}
+
+} // namespace lbp

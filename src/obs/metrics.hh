@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Metrics registry: the single naming authority for every counter and
+ * histogram the simulator exports.
+ *
+ * Three consumers used to hand-roll their own counter plumbing — the
+ * lbpsim CSV writer, the bench telemetry JSON, and ad-hoc printf
+ * summaries — and their column lists drifted independently. This header
+ * centralizes the mapping from RunResult fields to (name, unit, help)
+ * descriptors so every exporter iterates one table, and adds the
+ * fixed-bucket histograms (resolve latency, ROB occupancy at squash,
+ * repair-walk length) the aggregate counters cannot express.
+ *
+ * Everything here is observational: nothing in src/obs/ feeds back into
+ * simulation state, which is what keeps trace-on runs bit-identical to
+ * trace-off runs (tests/test_trace.cc pins that).
+ */
+
+#ifndef LBP_OBS_METRICS_HH
+#define LBP_OBS_METRICS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lbp {
+
+struct RunResult;
+
+/**
+ * Power-of-two bucketed histogram with a fixed, compile-time bucket
+ * count: sample() is a shift-free loop over at most numBuckets
+ * compares and three adds, and the footprint is constant, so tracers
+ * can own one per metric without heap traffic on the hot path.
+ *
+ * Bucket b counts samples v with 2^(b-1) < v <= 2^b (bucket 0 holds
+ * v <= 1), matching common/stats.hh Distribution so the two can be
+ * reconciled in tests.
+ */
+class FixedHistogram
+{
+  public:
+    /** Buckets cover values up to 2^23; larger samples clamp to the
+     *  last bucket (resolve latencies and walk lengths sit far below). */
+    static constexpr unsigned numBuckets = 24;
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++count_;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+        unsigned b = 0;
+        while ((1ull << b) < v && b + 1 < numBuckets)
+            ++b;
+        ++buckets_[b];
+    }
+
+    /** Total samples recorded. */
+    std::uint64_t count() const { return count_; }
+    /** Sum of all sample values. */
+    std::uint64_t sum() const { return sum_; }
+    /** Largest sample seen (0 when empty). */
+    std::uint64_t max() const { return max_; }
+    /** Arithmetic mean (0.0 when empty). */
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+    /** Count in bucket @p b (see class comment for the bucket bounds). */
+    std::uint64_t bucket(unsigned b) const { return buckets_[b]; }
+
+    /** Sum of all bucket counts; equals count() by construction — the
+     *  histogram/counter reconciliation tests assert exactly this. */
+    std::uint64_t bucketTotal() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t buckets_[numBuckets] = {};
+};
+
+/** One exported scalar metric: a named, unit-annotated value. */
+struct Metric
+{
+    std::string name;   ///< stable export name (CSV column / JSON key)
+    std::string unit;   ///< "count", "cycles", "ratio", "KB", ...
+    std::string help;   ///< one-line description
+    double value = 0.0;
+    bool integral = false;  ///< print as integer (counter semantics)
+};
+
+/** A FixedHistogram paired with its export name and unit. */
+struct NamedHistogram
+{
+    std::string name;
+    std::string unit;
+    std::string help;
+    FixedHistogram hist;
+};
+
+/**
+ * Ordered collection of metrics and histograms for one run (or one
+ * aggregated suite). Exporters iterate scalars()/histograms() so the
+ * set of reported metrics is defined in exactly one place.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Append a scalar counter (integral, printed without decimals). */
+    void counter(std::string name, std::string unit, std::string help,
+                 std::uint64_t value);
+
+    /** Append a scalar gauge (floating point). */
+    void gauge(std::string name, std::string unit, std::string help,
+               double value);
+
+    /** Append a histogram by value. */
+    void histogram(std::string name, std::string unit, std::string help,
+                   const FixedHistogram &hist);
+
+    /** All scalars, in registration order. */
+    const std::vector<Metric> &scalars() const { return scalars_; }
+    /** All histograms, in registration order. */
+    const std::vector<NamedHistogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    /**
+     * Serialize as a JSON object:
+     * {"scalars": [{name, unit, help, value}...],
+     *  "histograms": [{name, unit, help, count, sum, max, buckets}...]}
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::vector<Metric> scalars_;
+    std::vector<NamedHistogram> hists_;
+};
+
+/**
+ * Descriptor tying one exported per-run metric to its RunResult field.
+ * The table (runMetrics()) is the authority for lbpsim's CSV columns,
+ * the --metrics-json export, and docs/METRICS.md — adding a field to
+ * RunResult means adding a row here, and every consumer picks it up.
+ */
+struct RunMetricDesc
+{
+    const char *name;  ///< CSV column / JSON key
+    const char *unit;
+    const char *help;
+    bool integral;              ///< counter (true) vs gauge (false)
+    double (*get)(const RunResult &);  ///< field accessor
+};
+
+/**
+ * The per-run metric table, in CSV column order (stable: existing
+ * columns keep their historical names and positions).
+ */
+const std::vector<RunMetricDesc> &runMetrics();
+
+/** Register every runMetrics() entry of @p r into @p reg. */
+void registerRunMetrics(MetricsRegistry &reg, const RunResult &r);
+
+} // namespace lbp
+
+#endif // LBP_OBS_METRICS_HH

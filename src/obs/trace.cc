@@ -1,0 +1,397 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace lbp {
+
+const char *
+traceStageName(TraceStage st)
+{
+    switch (st) {
+      case TraceStage::Fetch: return "fetch";
+      case TraceStage::Alloc: return "alloc";
+      case TraceStage::Issue: return "issue";
+      case TraceStage::Retire: return "retire";
+      case TraceStage::Resolve: return "resolve";
+      case TraceStage::Squash: return "squash";
+      case TraceStage::Resteer: return "resteer";
+    }
+    return "?";
+}
+
+const char *
+mispredictSourceName(MispredictSource s)
+{
+    switch (s) {
+      case MispredictSource::Bimodal: return "bimodal";
+      case MispredictSource::TageTable: return "tage";
+      case MispredictSource::LoopOverride: return "loop";
+      case MispredictSource::BhtDefer: return "bht-defer";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Ring capacity for a cycle window: the pipeline emits at most
+ *  ~4 fetch + 4 alloc/issue + 4 retire + flush events per cycle, so 16
+ *  slots per requested cycle covers the window with slack; clamped so
+ *  pathological --trace-window values keep memory bounded. */
+std::size_t
+ringCapacityFor(std::uint64_t window_cycles)
+{
+    const std::uint64_t want = window_cycles * 16;
+    std::size_t cap = 4096;
+    while (cap < want && cap < (std::size_t{1} << 19))
+        cap <<= 1;
+    return cap;
+}
+
+} // namespace
+
+PipelineTracer::PipelineTracer(const ObsConfig &cfg)
+    : tracing_(cfg.trace), forensics_(cfg.forensics),
+      windowCycles_(cfg.traceWindowCycles)
+{
+    if (tracing_)
+        ring_.resize(ringCapacityFor(windowCycles_));
+}
+
+void
+PipelineTracer::squash(const SquashRecord &rec)
+{
+    if (!forensics_)
+        return;
+    squashes_.push_back(rec);
+    resolveLatency_.sample(rec.resolveLatency);
+    robOccupancy_.sample(rec.robOccupancy);
+    if (rec.walkLength)
+        walkLength_.sample(rec.walkLength);
+}
+
+ObsRun
+PipelineTracer::finish()
+{
+    ObsRun out;
+    out.squashes = std::move(squashes_);
+    out.resolveLatency = resolveLatency_;
+    out.robOccupancy = robOccupancy_;
+    out.walkLength = walkLength_;
+
+    if (tracing_ && head_ > 0) {
+        const std::uint64_t cap = ring_.size();
+        const std::uint64_t first = head_ > cap ? head_ - cap : 0;
+        // Newest event end bounds the window.
+        Cycle newest = 0;
+        for (std::uint64_t i = first; i < head_; ++i)
+            newest = std::max(newest,
+                              ring_[i & (cap - 1)].end);
+        const Cycle horizon =
+            newest > windowCycles_ ? newest - windowCycles_ : 0;
+        out.events.reserve(static_cast<std::size_t>(head_ - first));
+        for (std::uint64_t i = first; i < head_; ++i) {
+            const TraceRecord &r = ring_[i & (cap - 1)];
+            if (r.end >= horizon)
+                out.events.push_back(r);
+        }
+        out.eventsDropped =
+            head_ - static_cast<std::uint64_t>(out.events.size());
+    }
+    head_ = 0;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace_event JSON
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+chromeEvent(std::ostream &os, bool &first_event, char ph,
+            const char *name, std::size_t pid, std::uint64_t tid,
+            Cycle ts, const TraceRecord *rec)
+{
+    if (!first_event)
+        os << ",\n";
+    first_event = false;
+    os << "{\"name\":\"" << name << "\",\"ph\":\"" << ph
+       << "\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << ts;
+    if (rec && ph == 'B') {
+        char pc[32];
+        std::snprintf(pc, sizeof(pc), "0x%llx",
+                      static_cast<unsigned long long>(rec->pc));
+        os << ",\"cat\":\"" << (rec->wrongPath ? "wrong-path" : "true-path")
+           << "\",\"args\":{\"pc\":\"" << pc << "\",\"seq\":"
+           << rec->seq << '}';
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os,
+                 const std::vector<const ObsRun *> &runs)
+{
+    os << "[\n";
+    bool first_event = true;
+    for (std::size_t pid = 0; pid < runs.size(); ++pid) {
+        const ObsRun &run = *runs[pid];
+        if (!first_event)
+            os << ",\n";
+        first_event = false;
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"args\":{\"name\":\"" << run.workload << " ["
+           << run.config << "]\"}}";
+        for (const TraceRecord &r : run.events) {
+            // One lane (tid) per instruction-ring slot: two in-flight
+            // instructions can never share a slot, so begin/end pairs
+            // on a tid are naturally non-overlapping and balance.
+            const std::uint64_t tid = r.seq & 0x1fffu;
+            const char *name = traceStageName(r.stage);
+            chromeEvent(os, first_event, 'B', name, pid, tid, r.begin,
+                        &r);
+            chromeEvent(os, first_event, 'E', name, pid, tid,
+                        std::max(r.end, r.begin), nullptr);
+        }
+    }
+    os << "\n]\n";
+}
+
+// ---------------------------------------------------------------------
+// Konata pipeline log
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Per-instruction life reassembled from the event stream. */
+struct KonataLane
+{
+    InstSeq seq = invalidSeq;
+    Addr pc = 0;
+    bool wrongPath = false;
+    bool squashed = false;
+    Cycle fetch = 0;
+    Cycle alloc = 0;
+    Cycle issueBegin = 0;
+    Cycle issueEnd = 0;
+    Cycle last = 0;       ///< retire or squash cycle
+    bool hasAlloc = false;
+    bool hasIssue = false;
+    bool hasEnd = false;  ///< saw retire (or squash) terminator
+};
+
+} // namespace
+
+void
+writeKonata(std::ostream &os, const ObsRun &run)
+{
+    // Reassemble per-seq lanes (writer-side only; never the hot path).
+    std::map<InstSeq, KonataLane> lanes;
+    for (const TraceRecord &r : run.events) {
+        KonataLane &l = lanes[r.seq];
+        l.seq = r.seq;
+        switch (r.stage) {
+          case TraceStage::Fetch:
+            l.pc = r.pc;
+            l.wrongPath = r.wrongPath;
+            l.fetch = r.begin;
+            l.last = std::max(l.last, r.end);
+            break;
+          case TraceStage::Alloc:
+            l.alloc = r.end;
+            l.hasAlloc = true;
+            l.last = std::max(l.last, r.end);
+            break;
+          case TraceStage::Issue:
+            l.issueBegin = r.begin;
+            l.issueEnd = r.end;
+            l.hasIssue = true;
+            l.last = std::max(l.last, r.end);
+            break;
+          case TraceStage::Retire:
+            l.hasEnd = true;
+            l.last = std::max(l.last, r.end);
+            break;
+          case TraceStage::Squash:
+          case TraceStage::Resolve:
+          case TraceStage::Resteer:
+            if (r.stage == TraceStage::Squash)
+                l.squashed = true;
+            l.last = std::max(l.last, r.end);
+            break;
+        }
+    }
+    if (lanes.empty()) {
+        os << "Kanata\t0004\n";
+        return;
+    }
+
+    // Konata wants commands grouped by cycle, monotonically advancing.
+    struct Cmd
+    {
+        Cycle cycle;
+        std::uint64_t order;
+        std::string text;
+    };
+    std::vector<Cmd> cmds;
+    std::uint64_t order = 0;
+    std::uint64_t uid = 0;
+    std::uint64_t retired = 0;
+    for (const auto &[seq, l] : lanes) {
+        const std::uint64_t id = uid++;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf), "I\t%llu\t%llu\t0\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(seq));
+        cmds.push_back({l.fetch, order++, buf});
+        std::snprintf(buf, sizeof(buf),
+                      "L\t%llu\t0\t0x%llx%s\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(l.pc),
+                      l.wrongPath ? " (wrong-path)" : "");
+        cmds.push_back({l.fetch, order++, buf});
+        std::snprintf(buf, sizeof(buf), "S\t%llu\t0\tF\n",
+                      static_cast<unsigned long long>(id));
+        cmds.push_back({l.fetch, order++, buf});
+        if (l.hasAlloc) {
+            std::snprintf(buf, sizeof(buf), "S\t%llu\t0\tA\n",
+                          static_cast<unsigned long long>(id));
+            cmds.push_back({l.alloc, order++, buf});
+        }
+        if (l.hasIssue) {
+            std::snprintf(buf, sizeof(buf), "S\t%llu\t0\tX\n",
+                          static_cast<unsigned long long>(id));
+            cmds.push_back({l.issueBegin, order++, buf});
+            std::snprintf(buf, sizeof(buf), "E\t%llu\t0\tX\n",
+                          static_cast<unsigned long long>(id));
+            cmds.push_back({l.issueEnd, order++, buf});
+        }
+        const bool flushed = l.squashed || (!l.hasEnd && l.wrongPath);
+        std::snprintf(buf, sizeof(buf), "R\t%llu\t%llu\t%d\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(
+                          flushed ? 0 : retired++),
+                      flushed ? 1 : 0);
+        cmds.push_back({l.last, order++, buf});
+    }
+    std::sort(cmds.begin(), cmds.end(),
+              [](const Cmd &a, const Cmd &b) {
+                  return a.cycle != b.cycle ? a.cycle < b.cycle
+                                            : a.order < b.order;
+              });
+
+    os << "Kanata\t0004\n";
+    Cycle cur = cmds.front().cycle;
+    os << "C=\t" << cur << '\n';
+    for (const Cmd &c : cmds) {
+        if (c.cycle > cur) {
+            os << "C\t" << (c.cycle - cur) << '\n';
+            cur = c.cycle;
+        }
+        os << c.text;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forensics CSV + top offenders
+// ---------------------------------------------------------------------
+
+void
+writeForensicsCsv(std::ostream &os,
+                  const std::vector<const ObsRun *> &runs)
+{
+    os << "workload,cycle,pc,seq,source,provider,resolve_latency,"
+          "wrong_path_fetched,obq_occupancy,rob_occupancy,"
+          "walk_length,repair_writes\n";
+    char pc[32];
+    for (const ObsRun *run : runs) {
+        for (const SquashRecord &s : run->squashes) {
+            std::snprintf(pc, sizeof(pc), "0x%llx",
+                          static_cast<unsigned long long>(s.pc));
+            os << run->workload << ',' << s.cycle << ',' << pc << ','
+               << s.seq << ',' << mispredictSourceName(s.source) << ','
+               << static_cast<int>(s.provider) << ','
+               << s.resolveLatency << ',' << s.wrongPathFetched << ','
+               << s.obqOccupancy << ',' << s.robOccupancy << ','
+               << s.walkLength << ',' << s.repairWrites << '\n';
+        }
+    }
+}
+
+std::vector<OffenderRow>
+topOffenders(const std::vector<const ObsRun *> &runs, std::size_t n)
+{
+    struct Agg
+    {
+        std::uint64_t squashes = 0;
+        std::uint64_t wrongPathFetched = 0;
+        std::uint64_t walkLength = 0;
+        std::uint64_t bySource[4] = {};
+    };
+    std::map<std::pair<std::string, Addr>, Agg> by_pc;
+    for (const ObsRun *run : runs) {
+        for (const SquashRecord &s : run->squashes) {
+            Agg &a = by_pc[{run->workload, s.pc}];
+            ++a.squashes;
+            a.wrongPathFetched += s.wrongPathFetched;
+            a.walkLength += s.walkLength;
+            ++a.bySource[static_cast<unsigned>(s.source)];
+        }
+    }
+
+    std::vector<OffenderRow> rows;
+    rows.reserve(by_pc.size());
+    for (const auto &[key, a] : by_pc) {
+        OffenderRow r;
+        r.workload = key.first;
+        r.pc = key.second;
+        r.squashes = a.squashes;
+        r.wrongPathFetched = a.wrongPathFetched;
+        r.walkLength = a.walkLength;
+        unsigned best = 0;
+        for (unsigned s = 1; s < 4; ++s)
+            if (a.bySource[s] > a.bySource[best])
+                best = s;
+        r.dominantSource = static_cast<MispredictSource>(best);
+        rows.push_back(std::move(r));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const OffenderRow &a, const OffenderRow &b) {
+                  if (a.squashes != b.squashes)
+                      return a.squashes > b.squashes;
+                  if (a.workload != b.workload)
+                      return a.workload < b.workload;
+                  return a.pc < b.pc;
+              });
+    if (rows.size() > n)
+        rows.resize(n);
+    return rows;
+}
+
+std::string
+formatOffenders(const std::vector<OffenderRow> &rows)
+{
+    TextTable table({"workload", "pc", "squashes", "wrong-path instrs",
+                     "walk entries", "dominant source"});
+    char pc[32];
+    for (const OffenderRow &r : rows) {
+        std::snprintf(pc, sizeof(pc), "0x%llx",
+                      static_cast<unsigned long long>(r.pc));
+        table.addRow({r.workload, pc, std::to_string(r.squashes),
+                      std::to_string(r.wrongPathFetched),
+                      std::to_string(r.walkLength),
+                      mispredictSourceName(r.dominantSource)});
+    }
+    return table.render();
+}
+
+} // namespace lbp

@@ -181,6 +181,13 @@ class RepairScheme
     /** Additional storage beyond TAGE + the local predictor (KB). */
     virtual double storageKB() const { return 0.0; }
 
+    /**
+     * Live entries in the scheme's checkpoint structure (OBQ, snapshot
+     * queue, future-file ring); 0 for schemes without one. Observability
+     * only — the misprediction-forensics channel records it per squash.
+     */
+    virtual unsigned obqOccupancy() const { return 0; }
+
     virtual const char *name() const;
 
     /** The managed local predictor (primary one for MultiStage). */

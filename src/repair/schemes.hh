@@ -75,6 +75,7 @@ class WalkSchemeBase : public RepairScheme
     void atSquash(InstSeq kept_seq, const DynInst &cause) override;
     void atRetire(DynInst &di) override;
     double storageKB() const override;
+    unsigned obqOccupancy() const override { return obq_.size(); }
 
     const Obq &obq() const { return obq_; }
 
@@ -147,6 +148,10 @@ class SnapshotScheme : public RepairScheme
     void atSquash(InstSeq kept_seq, const DynInst &cause) override;
     void atRetire(DynInst &di) override;
     double storageKB() const override;
+    unsigned obqOccupancy() const override
+    {
+        return static_cast<unsigned>(tail_ - head_);
+    }
     const char *name() const override { return "snapshot"; }
 
   protected:
@@ -232,6 +237,10 @@ class FutureFileScheme : public RepairScheme
     void atSquash(InstSeq kept_seq, const DynInst &cause) override;
     void atRetire(DynInst &di) override;
     double storageKB() const override;
+    unsigned obqOccupancy() const override
+    {
+        return static_cast<unsigned>(tail_ - head_);
+    }
     const char *name() const override { return "future-file"; }
 
   private:
@@ -274,6 +283,7 @@ class MultiStageScheme : public RepairScheme
     void atRetire(DynInst &di) override;
     double storageKB() const override;
     double localStorageKB() const override;
+    unsigned obqOccupancy() const override { return obq_.size(); }
     const char *name() const override
     {
         return sharedPt_ ? "split-bht(shared-pt)" : "split-bht(split-pt)";

@@ -16,6 +16,16 @@ RunResult
 runOne(const Program &prog, const SimConfig &cfg)
 {
     OooCore core(prog, cfg);
+
+    // Observability is opt-in per run; the tracer lives on this stack
+    // frame for the core's whole life and only ever *reads* core state,
+    // so attaching it cannot perturb results (test_trace.cc pins
+    // trace-on == trace-off against the golden fixture).
+    const bool observed = cfg.obs.trace || cfg.obs.forensics;
+    PipelineTracer tracer(cfg.obs);
+    if (observed)
+        core.attachTracer(&tracer);
+
     core.run(cfg.warmupInstrs);
     const CoreStats at_warm = core.stats();
     core.run(cfg.measureInstrs);
@@ -66,6 +76,19 @@ runOne(const Program &prog, const SimConfig &cfg)
         r.auditUncovered = as->uncoveredRecoveries;
     }
 #endif
+
+    if (observed) {
+        auto obs = std::make_shared<ObsRun>(tracer.finish());
+        obs->workload = prog.name;
+        obs->config = configLabel(cfg);
+        // Whole-run totals the forensics channel must reconcile with:
+        // one squash record per execute-time flush, warm-up included.
+        obs->totalMispredicts = core.stats().mispredicts;
+        obs->totalCycles = core.stats().cycles;
+        if (const RepairScheme *scheme = core.scheme())
+            obs->totalRepairs = scheme->stats().repairsTriggered;
+        r.obs = std::move(obs);
+    }
     return r;
 }
 

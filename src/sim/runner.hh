@@ -10,6 +10,7 @@
 #define LBP_SIM_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,49 +20,63 @@
 
 namespace lbp {
 
-/** Result of simulating one workload under one configuration. */
+/**
+ * Result of simulating one workload under one configuration.
+ *
+ * Exported names/units for these fields live in the obs metric table
+ * (src/obs/metrics.cc runMetrics(), documented in docs/METRICS.md);
+ * exporters iterate that table rather than naming fields ad hoc.
+ */
 struct RunResult
 {
-    std::string workload;
-    std::string category;
+    std::string workload;  ///< workload name ("Server:0")
+    std::string category;  ///< Table-1 category the workload belongs to
 
-    CoreStats stats;  ///< measurement window only (warm-up excluded)
-    double ipc = 0.0;
-    double mpki = 0.0;
+    CoreStats stats;   ///< measurement window only (warm-up excluded)
+    double ipc = 0.0;  ///< retired instructions per cycle (window)
+    double mpki = 0.0; ///< mispredictions per kilo-instruction (window)
 
     // Scheme-side counters (whole run; window-independent shapes).
-    std::uint64_t overrides = 0;
-    std::uint64_t overridesCorrect = 0;
-    std::uint64_t repairs = 0;
-    std::uint64_t repairWrites = 0;
-    std::uint64_t earlyResteers = 0;
-    std::uint64_t earlyResteersWrong = 0;
-    std::uint64_t uncheckpointedMispredicts = 0;
-    std::uint64_t deniedPredictions = 0;
-    std::uint64_t skippedSpecUpdates = 0;
-    double avgRepairsNeeded = 0.0;
-    std::uint64_t maxRepairsNeeded = 0;
-    double avgWalkLength = 0.0;
-    double avgRepairWrites = 0.0;
-    double avgRepairCycles = 0.0;
+    std::uint64_t overrides = 0;         ///< local overrides of TAGE
+    std::uint64_t overridesCorrect = 0;  ///< ...that were right
+    std::uint64_t repairs = 0;           ///< repair episodes triggered
+    std::uint64_t repairWrites = 0;      ///< BHT writes repairs made
+    std::uint64_t earlyResteers = 0;     ///< alloc-stage resteers (3.2)
+    std::uint64_t earlyResteersWrong = 0;  ///< ...with a wrong direction
+    std::uint64_t uncheckpointedMispredicts = 0;  ///< OBQ-overflow cases
+    std::uint64_t deniedPredictions = 0; ///< BHT busy at lookup (2.5)
+    std::uint64_t skippedSpecUpdates = 0;  ///< BHT busy at spec update
+    double avgRepairsNeeded = 0.0;  ///< mean polluted PCs per flush (Fig 8)
+    std::uint64_t maxRepairsNeeded = 0;  ///< worst-case polluted PCs
+    double avgWalkLength = 0.0;     ///< mean OBQ entries walked per repair
+    double avgRepairWrites = 0.0;   ///< mean BHT writes per repair
+    double avgRepairCycles = 0.0;   ///< mean cycles a repair occupied
 
     // Invariant-auditor outcome (LBP_AUDIT builds with an auditable
     // scheme; all-zero otherwise).
-    std::uint64_t auditChecks = 0;
-    std::uint64_t auditViolations = 0;
-    std::uint64_t auditResyncs = 0;
-    std::uint64_t auditSkipped = 0;
-    std::uint64_t auditUncovered = 0;
+    std::uint64_t auditChecks = 0;      ///< recovery + retire checks
+    std::uint64_t auditViolations = 0;  ///< must stay 0
+    std::uint64_t auditResyncs = 0;     ///< oracle resyncs after gaps
+    std::uint64_t auditSkipped = 0;     ///< checks skipped (declared gaps)
+    std::uint64_t auditUncovered = 0;   ///< recoveries with no checkpoint
 
     // Cache-hierarchy totals (all levels, whole run).
-    std::uint64_t cacheAccesses = 0;
-    std::uint64_t cacheMisses = 0;
-    std::uint64_t cachePrefetchFills = 0;
+    std::uint64_t cacheAccesses = 0;      ///< L1I+L1D+L2+LLC accesses
+    std::uint64_t cacheMisses = 0;        ///< misses across those levels
+    std::uint64_t cachePrefetchFills = 0; ///< next-line prefetch fills
 
     // Storage accounting for Table 3.
-    double tageKB = 0.0;
-    double localKB = 0.0;
-    double repairKB = 0.0;
+    double tageKB = 0.0;    ///< TAGE tables
+    double localKB = 0.0;   ///< local predictor (BHT+PT, both for 3.2)
+    double repairKB = 0.0;  ///< repair structures (OBQ/snapshots/...)
+
+    /**
+     * Observability capture (stage events, squash forensics,
+     * histograms); null unless SimConfig::obs asked for it. Shared so
+     * copying results around the suite machinery stays cheap;
+     * excluded — like telemetry — from determinism comparisons.
+     */
+    std::shared_ptr<const ObsRun> obs;
 };
 
 /** Simulate one workload under @p cfg. */
@@ -98,10 +113,10 @@ SuiteResult runSuite(const std::vector<Program> &suite,
 /** Per-category comparison row (Figures 4/7/9 style). */
 struct CategoryAgg
 {
-    std::string name;
-    unsigned workloads = 0;
-    double mpkiBase = 0.0;
-    double mpkiTest = 0.0;
+    std::string name;        ///< category ("Server", ..., or "All")
+    unsigned workloads = 0;  ///< runs aggregated into this row
+    double mpkiBase = 0.0;   ///< misprediction-weighted baseline MPKI
+    double mpkiTest = 0.0;   ///< same, for the test configuration
     double mpkiReductionPct = 0.0;  ///< positive = fewer mispredicts
     double ipcGainPct = 0.0;        ///< geometric mean, percent
 };
@@ -123,12 +138,14 @@ ipcSCurve(const SuiteResult &base, const SuiteResult &test);
 /** Environment knobs shared by every bench (see DESIGN.md section 7). */
 struct BenchEnv
 {
-    std::uint64_t warmupInstrs = 40000;
-    std::uint64_t measureInstrs = 60000;
+    std::uint64_t warmupInstrs = 40000;   ///< REPRO_WARMUP
+    std::uint64_t measureInstrs = 60000;  ///< REPRO_INSTR
     unsigned maxWorkloads = 0;  ///< 0 = the full 202-workload suite
     unsigned jobs = 0;          ///< REPRO_JOBS; 0 = hardware concurrency
 
+    /** Read REPRO_INSTR / REPRO_WARMUP / REPRO_WORKLOADS / REPRO_JOBS. */
     static BenchEnv fromEnvironment();
+    /** Copy the instruction budgets into @p cfg. */
     void apply(SimConfig &cfg) const;
 };
 

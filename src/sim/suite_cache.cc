@@ -40,6 +40,10 @@ configKey(const SimConfig &cfg)
     appendField(k, "meas", cfg.measureInstrs);
     appendField(k, "audit", cfg.audit ? 1 : 0);
     appendField(k, "auditPanic", cfg.auditPanic ? 1 : 0);
+    // cfg.obs is deliberately NOT keyed: observability is purely
+    // observational (trace-on results are bit-identical to trace-off),
+    // so keying it would only split the cache. A memoized hit therefore
+    // carries no ObsRun — callers wanting traces use runSuite directly.
 #ifdef LBP_AUDIT
     k += "auditBuild;";
 #endif

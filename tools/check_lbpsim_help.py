@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Assert lbpsim --help documents every flag the parser accepts.
+
+Extracts every ``--flag`` string literal from tools/lbpsim.cc (the
+option table is the only place flags are spelled) and checks each one
+appears in the output of the built binary's ``--help``. Because help and
+parser are generated from the same table this should be impossible to
+break — this test guards the "same table" property itself against a
+future hand-written special case.
+
+Usage:
+    check_lbpsim_help.py <lbpsim.cc> <lbpsim-binary>
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    source = Path(argv[1])
+    binary = argv[2]
+
+    text = source.read_text(encoding="utf-8")
+    flags = sorted(set(re.findall(r"\"(--[a-z][a-z0-9-]*)\"", text)))
+    flags += ["-h"]
+    if len(flags) < 5:
+        print(f"check_lbpsim_help: only {len(flags)} flags extracted "
+              f"from {source} — extraction regex broken?")
+        return 1
+
+    proc = subprocess.run([binary, "--help"], capture_output=True,
+                          text=True)
+    if proc.returncode != 0:
+        print(f"check_lbpsim_help: {binary} --help exited "
+              f"{proc.returncode}\n{proc.stderr}")
+        return 1
+    helptext = proc.stdout
+
+    missing = [f for f in flags if f not in helptext]
+    for f in missing:
+        print(f"check_lbpsim_help: parser accepts {f} but --help "
+              f"does not mention it")
+    if missing:
+        return 1
+    print(f"check_lbpsim_help: all {len(flags)} flags documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -39,9 +39,16 @@ Rules (each finding is printed as ``rule:file:line: message``):
 
   stats-counter-reported
       Every counter field registered in a ``*Stats`` struct in src/
-      must be referenced by the reporting layer (src/sim/, tools/,
-      bench/). An unreported counter is dead weight at best and a
-      silently-dropped result at worst.
+      must be referenced by the reporting layer (src/sim/, src/obs/,
+      tools/, bench/). An unreported counter is dead weight at best and
+      a silently-dropped result at worst.
+
+  obs-doc-comment
+      Every namespace-scope struct/class in an src/obs/ header must be
+      preceded by a doc comment (``///`` line or a ``*/`` block end).
+      The observability layer is the repo's public reporting surface —
+      docs/METRICS.md and docs/TRACING.md are generated against these
+      types, so an undocumented type is an undocumented export.
 
   include-guard / no-parent-include
       Headers guard with LBP_<DIR>_<FILE>_HH matching their path, and
@@ -69,7 +76,7 @@ REPAIR_INTERFACE = [
     "restoreBht",
 ]
 
-REPORTING_DIRS = ["src/sim", "tools", "bench"]
+REPORTING_DIRS = ["src/sim", "src/obs", "tools", "bench"]
 
 CPP_SUFFIXES = {".cc", ".hh", ".cpp", ".hpp", ".h"}
 
@@ -332,6 +339,47 @@ def check_stats_reported(repo_root, src_root, findings):
                 f"by the reporting layer ({', '.join(REPORTING_DIRS)})"))
 
 
+# Doc-comment rule for the observability layer: namespace-scope types
+# in src/obs/ headers are the export surface the docs describe.
+OBS_DECL = re.compile(r"(?<!enum )\b(?:class|struct)\s+(\w+)")
+
+
+def check_obs_doc_comments(path, raw, stripped, findings):
+    posix = str(path).replace("\\", "/")
+    if "/obs/" not in posix or path.suffix not in {".hh", ".hpp", ".h"}:
+        return
+    # Namespace braces do not open a nesting scope for this rule: types
+    # directly inside `namespace lbp {` count as namespace-scope.
+    ns_braces = {m.end() - 1
+                 for m in re.finditer(r"\bnamespace\s+\w*\s*\{",
+                                      stripped)}
+    decls = {m.start(): m for m in OBS_DECL.finditer(stripped)}
+    raw_lines = raw.splitlines()
+    depth = 0
+    for pos, ch in enumerate(stripped):
+        if pos in decls and depth == 0:
+            m = decls[pos]
+            brace = stripped.find("{", m.end())
+            semi = stripped.find(";", m.end())
+            # A ';' before any '{' is a forward declaration: no body to
+            # document here.
+            if brace >= 0 and not (0 <= semi < brace):
+                line = line_of(stripped, m.start())
+                prev = raw_lines[line - 2].strip() if line >= 2 else ""
+                if not (prev.startswith("///") or prev.endswith("*/")):
+                    findings.append(Finding(
+                        "obs-doc-comment", path, line,
+                        f"{m.group(1)} is part of the observability "
+                        f"export surface and needs a /// or /** doc "
+                        f"comment"))
+        if ch == "{":
+            if pos not in ns_braces:
+                depth += 1
+        elif ch == "}":
+            if depth > 0:
+                depth -= 1
+
+
 GUARD_IFNDEF = re.compile(r"#\s*ifndef\s+(\w+)")
 
 
@@ -376,6 +424,7 @@ def lint_tree(repo_root, src_root, check_stats=True):
         check_predictor_interface(path, stripped, findings)
         check_banned_calls(path, stripped, findings)
         check_hot_path_alloc(path, raw, stripped, findings)
+        check_obs_doc_comments(path, raw, stripped, findings)
         check_include_hygiene(src_root, path, raw, stripped, findings)
     if check_stats:
         check_stats_reported(repo_root, src_root, findings)
@@ -410,6 +459,7 @@ def self_test(repo_root):
         "bad_stats.hh": {"stats-counter-reported"},
         "bad_include.hh": {"include-guard", "no-parent-include"},
         "core.cc": {"no-hot-path-alloc"},
+        "bad_obs.hh": {"obs-doc-comment"},
     }
     ok = True
     for name, rules in expect.items():
@@ -427,6 +477,15 @@ def self_test(repo_root):
     if len(hot) != 2:
         print(f"lbp_lint self-test: core.cc should trigger exactly 2 "
               f"no-hot-path-alloc findings, got {len(hot)}")
+        ok = False
+    # bad_obs.hh seeds exactly one undocumented type; its documented,
+    # forward-declared and nested types must all stay quiet.
+    obs_doc = [f for f in findings
+               if f.rule == "obs-doc-comment"
+               and Path(f.path).name == "bad_obs.hh"]
+    if len(obs_doc) != 1:
+        print(f"lbp_lint self-test: bad_obs.hh should trigger exactly "
+              f"1 obs-doc-comment finding, got {len(obs_doc)}")
         ok = False
     for name in ("clean.hh", "reporting.cc"):
         extra = by_file.get(name, set())

@@ -4,10 +4,14 @@
  *
  * Run any workload (or the whole suite) under any predictor/repair
  * configuration and print per-run or aggregated results, optionally as
- * CSV for plotting.
+ * CSV for plotting. Observability flags capture cycle-level pipeline
+ * traces, misprediction forensics, and metrics exports (docs/TRACING.md
+ * and docs/METRICS.md).
  *
  *   lbpsim --workload Server:0 --scheme forward-walk --ports 32-4-2
  *   lbpsim --suite 21 --scheme perfect --loop 256 --csv out.csv
+ *   lbpsim --workload Web:1 --scheme forward-walk --trace-out t.json \
+ *          --forensics-csv f.csv --top-offenders 10
  *   lbpsim --list
  *
  * Exit codes: 0 ok, 1 bad usage (fatal() semantics).
@@ -18,10 +22,13 @@
 #include <fstream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/telemetry.hh"
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/runner.hh"
 #include "workload/suite.hh"
 
@@ -46,41 +53,119 @@ struct Options
     std::string throughputJson;
     unsigned jobs = 0;            ///< 0 = REPRO_JOBS / hardware
     bool list = false;
+
+    // Observability (src/obs; all off by default — zero-cost).
+    std::string traceOut;         ///< Chrome trace_event JSON path
+    std::string traceKonata;      ///< Konata pipeline log path
+    std::uint64_t traceWindow = 20000;  ///< trace window, cycles
+    std::string forensicsCsv;     ///< per-squash forensics CSV path
+    std::string metricsJson;      ///< metrics-registry JSON path
+    unsigned topOffenders = 0;    ///< print top-N mispredicting PCs
+};
+
+/** Identifier for each option the parser dispatches on. */
+enum class Opt
+{
+    Help, List, Workload, Suite, Scheme, Ports, Coalesce, LimitedM,
+    Loop, Tage, Warmup, Instr, Csv, Jobs, ThroughputJson,
+    TraceOut, TraceKonata, TraceWindow, ForensicsCsv, MetricsJson,
+    TopOffenders,
+};
+
+/**
+ * The single option table: the parser resolves flags against it and
+ * usage() renders it, so help text and accepted flags cannot drift
+ * (tools/check_lbpsim_help.py asserts every parsed flag is printed).
+ */
+struct OptSpec
+{
+    Opt id;
+    const char *flag;
+    const char *alias;    ///< alternate spelling, or nullptr
+    const char *metavar;  ///< value placeholder, or nullptr (boolean)
+    const char *help;     ///< '\n' continues on an aligned next line
+};
+
+constexpr OptSpec kOptions[] = {
+    {Opt::Help, "--help", "-h", nullptr, "print this help and exit"},
+    {Opt::List, "--list", nullptr, nullptr,
+     "print categories and named workloads"},
+    {Opt::Workload, "--workload", nullptr, "<Category:N>",
+     "simulate one workload (e.g. Server:0)"},
+    {Opt::Suite, "--suite", nullptr, "<N|all>",
+     "simulate N suite workloads (category-proportional)"},
+    {Opt::Scheme, "--scheme", nullptr, "<name>",
+     "baseline | perfect | no-repair | retire-update |\n"
+     "backward-walk | snapshot | forward-walk |\n"
+     "limited-pc | multi-stage | future-file"},
+    {Opt::Ports, "--ports", nullptr, "<M-N-P>",
+     "OBQ/SQ entries, read ports, BHT write ports"},
+    {Opt::Coalesce, "--coalesce", nullptr, nullptr,
+     "enable OBQ entry merging"},
+    {Opt::LimitedM, "--limited-m", nullptr, "<M>",
+     "PCs repaired by limited-pc"},
+    {Opt::Loop, "--loop", nullptr, "<64|128|256>",
+     "CBPw-Loop BHT/PT entries"},
+    {Opt::Tage, "--tage", nullptr, "<7|9|57>",
+     "TAGE configuration (KB)"},
+    {Opt::Warmup, "--warmup", nullptr, "<N>",
+     "warm-up instruction budget"},
+    {Opt::Instr, "--instr", nullptr, "<N>",
+     "measured instruction budget"},
+    {Opt::Csv, "--csv", nullptr, "<path>",
+     "write per-workload results as CSV"},
+    {Opt::Jobs, "--jobs", nullptr, "<N>",
+     "worker threads for suite runs (default:\n"
+     "REPRO_JOBS, else hardware concurrency)"},
+    {Opt::ThroughputJson, "--throughput-json", nullptr, "<path>",
+     "dump throughput telemetry as JSON"},
+    {Opt::TraceOut, "--trace-out", nullptr, "<path>",
+     "write a Chrome trace_event JSON of pipeline\n"
+     "stage events (chrome://tracing, Perfetto)"},
+    {Opt::TraceKonata, "--trace-konata", nullptr, "<path>",
+     "write a Konata-style pipeline log"},
+    {Opt::TraceWindow, "--trace-window", nullptr, "<cycles>",
+     "cycle span the dumped trace keeps (default\n"
+     "20000; memory stays fixed regardless)"},
+    {Opt::ForensicsCsv, "--forensics-csv", nullptr, "<path>",
+     "write one CSV row per misprediction squash\n"
+     "(PC, predictor component, pollution, repair)"},
+    {Opt::MetricsJson, "--metrics-json", nullptr, "<path>",
+     "write the metrics registry (counters +\n"
+     "histograms) as JSON, per run"},
+    {Opt::TopOffenders, "--top-offenders", nullptr, "<N>",
+     "print the N PCs causing the most squashes"},
 };
 
 void
 usage()
 {
-    std::puts(
-        "lbpsim — local-branch-predictor repair simulator\n"
-        "\n"
-        "  --list                     print categories and named "
-        "workloads\n"
-        "  --workload <Category:N>    simulate one workload (e.g. "
-        "Server:0)\n"
-        "  --suite <N|all>            simulate N suite workloads "
-        "(category-proportional)\n"
-        "  --scheme <name>            baseline | perfect | no-repair | "
-        "retire-update |\n"
-        "                             backward-walk | snapshot | "
-        "forward-walk |\n"
-        "                             limited-pc | multi-stage | "
-        "future-file\n"
-        "  --ports <M-N-P>            OBQ/SQ entries, read ports, BHT "
-        "write ports\n"
-        "  --coalesce                 enable OBQ entry merging\n"
-        "  --limited-m <M>            PCs repaired by limited-pc\n"
-        "  --loop <64|128|256>        CBPw-Loop BHT/PT entries\n"
-        "  --tage <7|9|57>            TAGE configuration (KB)\n"
-        "  --warmup <N> --instr <N>   instruction budgets\n"
-        "  --csv <path>               write per-workload results as "
-        "CSV\n"
-        "  --jobs <N>                 worker threads for suite runs "
-        "(default:\n"
-        "                             REPRO_JOBS, else hardware "
-        "concurrency)\n"
-        "  --throughput-json <path>   dump throughput telemetry as "
-        "JSON\n");
+    std::printf("lbpsim — local-branch-predictor repair simulator\n\n");
+    for (const OptSpec &o : kOptions) {
+        char left[64];
+        std::snprintf(left, sizeof(left), "  %s%s%s%s%s", o.flag,
+                      o.alias ? ", " : "", o.alias ? o.alias : "",
+                      o.metavar ? " " : "",
+                      o.metavar ? o.metavar : "");
+        std::printf("%-29s", left);
+        for (const char *p = o.help; *p; ++p) {
+            if (*p == '\n')
+                std::printf("\n%-29s", "");
+            else
+                std::putchar(*p);
+        }
+        std::putchar('\n');
+    }
+}
+
+const OptSpec *
+findOption(const char *arg)
+{
+    for (const OptSpec &o : kOptions)
+        if (std::strcmp(arg, o.flag) == 0 ||
+            (o.alias && std::strcmp(arg, o.alias) == 0))
+            return &o;
+    return nullptr;
 }
 
 std::optional<RepairKind>
@@ -110,24 +195,29 @@ parseScheme(const std::string &s)
 bool
 parseOptions(int argc, char **argv, Options &opt)
 {
-    const auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "missing value for %s\n", argv[i]);
-            return nullptr;
-        }
-        return argv[++i];
-    };
     for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a == "--help" || a == "-h") {
+        const OptSpec *spec = findOption(argv[i]);
+        if (!spec) {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            usage();
+            return false;
+        }
+        const char *v = nullptr;
+        if (spec->metavar) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                return false;
+            }
+            v = argv[++i];
+        }
+        switch (spec->id) {
+          case Opt::Help:
             usage();
             std::exit(0);
-        } else if (a == "--list") {
+          case Opt::List:
             opt.list = true;
-        } else if (a == "--workload") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Workload: {
             const char *colon = std::strchr(v, ':');
             if (!colon) {
                 std::fprintf(stderr, "--workload wants Category:N\n");
@@ -136,75 +226,71 @@ parseOptions(int argc, char **argv, Options &opt)
             opt.workload = {{std::string(v, colon - v),
                              static_cast<unsigned>(
                                  std::atoi(colon + 1))}};
-        } else if (a == "--suite") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          }
+          case Opt::Suite:
             if (std::string(v) == "all")
                 opt.fullSuite = true;
             else
                 opt.suite = static_cast<unsigned>(std::atoi(v));
-        } else if (a == "--scheme") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Scheme:
             opt.scheme = v;
-        } else if (a == "--ports") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Ports: {
             unsigned m = 0, n = 0, p = 0;
             if (std::sscanf(v, "%u-%u-%u", &m, &n, &p) != 3) {
                 std::fprintf(stderr, "--ports wants M-N-P\n");
                 return false;
             }
             opt.ports = {m, n, p};
-        } else if (a == "--coalesce") {
+            break;
+          }
+          case Opt::Coalesce:
             opt.coalesce = true;
-        } else if (a == "--limited-m") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::LimitedM:
             opt.limitedM = static_cast<unsigned>(std::atoi(v));
-        } else if (a == "--loop") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Loop:
             opt.loopEntries = static_cast<unsigned>(std::atoi(v));
-        } else if (a == "--tage") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Tage:
             opt.tageKB = static_cast<unsigned>(std::atoi(v));
-        } else if (a == "--warmup") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Warmup:
             opt.warmup = std::strtoull(v, nullptr, 10);
-        } else if (a == "--instr") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Instr:
             opt.instrs = std::strtoull(v, nullptr, 10);
-        } else if (a == "--csv") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Csv:
             opt.csvPath = v;
-        } else if (a == "--jobs") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::Jobs:
             opt.jobs = static_cast<unsigned>(std::atoi(v));
-        } else if (a == "--throughput-json") {
-            const char *v = need(i);
-            if (!v)
-                return false;
+            break;
+          case Opt::ThroughputJson:
             opt.throughputJson = v;
-        } else {
-            std::fprintf(stderr, "unknown option %s\n", a.c_str());
-            usage();
-            return false;
+            break;
+          case Opt::TraceOut:
+            opt.traceOut = v;
+            break;
+          case Opt::TraceKonata:
+            opt.traceKonata = v;
+            break;
+          case Opt::TraceWindow:
+            opt.traceWindow = std::strtoull(v, nullptr, 10);
+            break;
+          case Opt::ForensicsCsv:
+            opt.forensicsCsv = v;
+            break;
+          case Opt::MetricsJson:
+            opt.metricsJson = v;
+            break;
+          case Opt::TopOffenders:
+            opt.topOffenders = static_cast<unsigned>(std::atoi(v));
+            break;
         }
     }
     return true;
@@ -245,6 +331,12 @@ makeConfig(const Options &opt)
             std::exit(1);
         }
     }
+    cfg.obs.trace =
+        !opt.traceOut.empty() || !opt.traceKonata.empty();
+    cfg.obs.forensics = !opt.forensicsCsv.empty() ||
+                        !opt.metricsJson.empty() ||
+                        opt.topOffenders > 0;
+    cfg.obs.traceWindowCycles = opt.traceWindow;
     return cfg;
 }
 
@@ -270,43 +362,117 @@ printRun(const RunResult &r)
     }
 }
 
-void
-writeCsv(const std::string &path, const SuiteResult &res)
+std::ofstream
+openOrDie(const std::string &path)
 {
     std::ofstream out(path);
     if (!out) {
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         std::exit(1);
     }
+    return out;
+}
+
+void
+writeCsv(const std::string &path, const SuiteResult &res)
+{
+    std::ofstream out = openOrDie(path);
     const SuiteTelemetry &tel = res.telemetry;
     out << "# wall_s=" << tel.wallSeconds
         << " minstr_per_s=" << tel.minstrPerSec()
         << " jobs=" << tel.jobs << '\n';
-    out << "workload,category,ipc,mpki,mispredicts,instructions,"
-           "cycles,retired_cond,fetched,wrong_path_fetched,"
-           "btb_misses,overrides,overrides_correct,repairs,"
-           "repair_writes,early_resteers,early_resteers_wrong,"
-           "uncheckpointed,denied_predictions,skipped_spec_updates,"
-           "avg_walk_length,audit_checks,audit_violations,"
-           "cache_accesses,cache_misses,cache_prefetch_fills\n";
+    // Columns come from the shared metric table (src/obs/metrics.cc):
+    // one naming authority for CSV, --metrics-json and docs/METRICS.md.
+    out << "workload,category";
+    for (const RunMetricDesc &d : runMetrics())
+        out << ',' << d.name;
+    out << '\n';
     for (const RunResult &r : res.runs) {
-        out << r.workload << ',' << r.category << ',' << r.ipc << ','
-            << r.mpki << ',' << r.stats.mispredicts << ','
-            << r.stats.retiredInstrs << ',' << r.stats.cycles << ','
-            << r.stats.retiredCond << ',' << r.stats.fetchedInstrs
-            << ',' << r.stats.wrongPathFetched << ','
-            << r.stats.btbMisses << ',' << r.overrides << ','
-            << r.overridesCorrect << ',' << r.repairs << ','
-            << r.repairWrites << ',' << r.earlyResteers << ','
-            << r.earlyResteersWrong << ','
-            << r.uncheckpointedMispredicts << ','
-            << r.deniedPredictions << ',' << r.skippedSpecUpdates
-            << ',' << r.avgWalkLength << ',' << r.auditChecks << ','
-            << r.auditViolations << ',' << r.cacheAccesses << ','
-            << r.cacheMisses << ',' << r.cachePrefetchFills << '\n';
+        out << r.workload << ',' << r.category;
+        for (const RunMetricDesc &d : runMetrics()) {
+            const double v = d.get(r);
+            out << ',';
+            if (d.integral)
+                out << static_cast<std::uint64_t>(v);
+            else
+                out << v;
+        }
+        out << '\n';
     }
     std::printf("wrote %zu rows to %s\n", res.runs.size(),
                 path.c_str());
+}
+
+/** Write every observability artifact the flags requested. */
+void
+writeObsOutputs(const Options &opt, const std::vector<RunResult> &runs)
+{
+    std::vector<const ObsRun *> obs;
+    for (const RunResult &r : runs)
+        if (r.obs)
+            obs.push_back(r.obs.get());
+    if (obs.empty())
+        return;
+
+    if (!opt.traceOut.empty()) {
+        std::ofstream out = openOrDie(opt.traceOut);
+        writeChromeTrace(out, obs);
+        std::printf("wrote Chrome trace (%zu runs) to %s\n",
+                    obs.size(), opt.traceOut.c_str());
+    }
+    if (!opt.traceKonata.empty()) {
+        std::ofstream out = openOrDie(opt.traceKonata);
+        writeKonata(out, *obs.front());
+        if (obs.size() > 1)
+            std::printf("note: Konata log covers the first run only "
+                        "(%s)\n", obs.front()->workload.c_str());
+        std::printf("wrote Konata log to %s\n",
+                    opt.traceKonata.c_str());
+    }
+    if (!opt.forensicsCsv.empty()) {
+        std::ofstream out = openOrDie(opt.forensicsCsv);
+        writeForensicsCsv(out, obs);
+        std::size_t rows = 0;
+        for (const ObsRun *o : obs)
+            rows += o->squashes.size();
+        std::printf("wrote %zu squash rows to %s\n", rows,
+                    opt.forensicsCsv.c_str());
+    }
+    if (opt.topOffenders > 0) {
+        const auto rows = topOffenders(obs, opt.topOffenders);
+        std::printf("\ntop %zu mispredicting PCs:\n%s", rows.size(),
+                    formatOffenders(rows).c_str());
+    }
+    if (!opt.metricsJson.empty()) {
+        std::ofstream out = openOrDie(opt.metricsJson);
+        out << "{\n  \"runs\": [\n";
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const RunResult &r = runs[i];
+            MetricsRegistry reg;
+            registerRunMetrics(reg, r);
+            if (r.obs) {
+                reg.histogram("resolve_latency", "cycles",
+                              "Fetch-to-resolve latency per squashed "
+                              "branch",
+                              r.obs->resolveLatency);
+                reg.histogram("rob_occupancy_at_squash", "entries",
+                              "ROB occupancy at each misprediction "
+                              "flush",
+                              r.obs->robOccupancy);
+                reg.histogram("repair_walk_length", "entries",
+                              "OBQ entries examined per repair episode",
+                              r.obs->walkLength);
+            }
+            out << "    {\"workload\": \"" << r.workload
+                << "\", \"category\": \"" << r.category
+                << "\", \"metrics\": ";
+            reg.writeJson(out);
+            out << "    }" << (i + 1 < runs.size() ? "," : "") << '\n';
+        }
+        out << "  ]\n}\n";
+        std::printf("wrote metrics for %zu runs to %s\n", runs.size(),
+                    opt.metricsJson.c_str());
+    }
 }
 
 } // namespace
@@ -359,6 +525,7 @@ main(int argc, char **argv)
                     wall > 0.0
                         ? static_cast<double>(sim) / wall / 1e6
                         : 0.0);
+        writeObsOutputs(opt, {r});
         return 0;
     }
 
@@ -398,5 +565,6 @@ main(int argc, char **argv)
     if (!opt.throughputJson.empty())
         TelemetryRegistry::process().writeJson(opt.throughputJson,
                                                "lbpsim");
+    writeObsOutputs(opt, res.runs);
     return 0;
 }

@@ -1,0 +1,37 @@
+// Fixture for the obs-doc-comment rule: exactly ONE seeded violation
+// (UndocumentedRecord). The forward declaration, the documented types
+// and the nested struct must all stay quiet.
+
+#ifndef LBP_OBS_BAD_OBS_HH
+#define LBP_OBS_BAD_OBS_HH
+
+namespace lbp {
+
+struct DocumentedElsewhere;  // forward declaration: no body here
+
+/** Block-doc-commented type: must not fire. */
+struct GoodRecord
+{
+    int x = 0;
+};
+
+/// Line-doc-commented type: must not fire.
+class GoodCollector
+{
+  public:
+    int y = 0;
+
+    struct Nested  // class scope, not namespace scope: must not fire
+    {
+        int z = 0;
+    };
+};
+
+struct UndocumentedRecord
+{
+    int w = 0;
+};
+
+} // namespace lbp
+
+#endif // LBP_OBS_BAD_OBS_HH
