@@ -4,19 +4,78 @@
  * that need repair per misprediction (distinct PCs speculatively
  * updated after the mispredicting branch), measured under perfect
  * repair with CBPw-Loop128 across the suite.
+ *
+ * `--port-analysis <csv>` additionally runs a forensics-enabled
+ * forward-walk pass and writes the repair-port sensitivity table
+ * (repairs needed vs available OBQ read / BHT write ports) the paper's
+ * port-cost argument rests on — see docs/SWEEP.md.
  */
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
 
 #include "bench/bench_common.hh"
 #include "common/stats.hh"
+#include "obs/port_analysis.hh"
 
 using namespace lbp;
 using namespace lbp::bench;
 
-int
-main()
+namespace {
+
+/**
+ * The --port-analysis pass: per-squash OBQ-walk and BHT-write work
+ * from the forensics channel, aggregated over candidate port counts.
+ * Uses runSuite directly — observability is excluded from the suite
+ * cache key, so cached results carry no forensics records.
+ */
+void
+portAnalysisPass(const Context &ctx, const char *csv_path)
 {
+    SimConfig cfg = ctx.withScheme(RepairKind::ForwardWalk);
+    cfg.obs.forensics = true;
+    const SuiteResult res = runSuite(ctx.suite, cfg, ctx.env.jobs);
+
+    std::vector<const ObsRun *> obs;
+    std::uint64_t records = 0;
+    for (const RunResult &r : res.runs) {
+        if (r.obs) {
+            obs.push_back(r.obs.get());
+            records += r.obs->squashes.size();
+        }
+    }
+    const auto rows = portAnalysis(obs, {1, 2, 4, 8});
+    std::ofstream out(csv_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", csv_path);
+        std::exit(1);
+    }
+    writePortAnalysisCsv(out, rows);
+    std::printf("\nrepair-port sensitivity (forward-walk, %llu squash "
+                "records):\n%s",
+                static_cast<unsigned long long>(records),
+                formatPortAnalysis(rows).c_str());
+    std::printf("wrote port-analysis CSV to %s\n", csv_path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *port_csv = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--port-analysis") == 0 &&
+            i + 1 < argc) {
+            port_csv = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--port-analysis <csv>]\n", argv[0]);
+            return 1;
+        }
+    }
+
     Context ctx = Context::make(
         "Figure 8: BHT repairs required per misprediction");
 
@@ -55,5 +114,8 @@ main()
                 sum_avg / n, (unsigned long long)global_max);
     std::printf("paper: average ~5 repairs per misprediction (up to "
                 "~16 for some workloads); worst case 61 writes.\n");
+
+    if (port_csv)
+        portAnalysisPass(ctx, port_csv);
     return reportThroughput("bench_fig08_repair_counts");
 }

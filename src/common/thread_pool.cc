@@ -94,9 +94,21 @@ ThreadPool::busySeconds() const
     return busy_;
 }
 
+namespace {
+// -1 off-pool; workers set their index for the thread's lifetime.
+thread_local int tlsWorkerIndex = -1;
+} // namespace
+
+int
+ThreadPool::currentIndex()
+{
+    return tlsWorkerIndex;
+}
+
 void
 ThreadPool::workerLoop(unsigned idx)
 {
+    tlsWorkerIndex = static_cast<int>(idx);
     std::unique_lock<std::mutex> lk(mu_);
     for (;;) {
         cvTask_.wait(lk, [&] { return stop_ || !queue_.empty(); });

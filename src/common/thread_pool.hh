@@ -85,6 +85,15 @@ class ThreadPool
     /** Cumulative busy seconds per worker. Call only while idle. */
     std::vector<double> busySeconds() const;
 
+    /**
+     * Index of the pool worker executing the caller (0-based), or -1
+     * when called off-pool (e.g. from the main thread). Lets tasks
+     * attribute their output — the sweep event log records which
+     * worker simulated each cell — without threading an id through
+     * every callback.
+     */
+    static int currentIndex();
+
   private:
     void workerLoop(unsigned idx);
 

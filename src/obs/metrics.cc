@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 
 namespace lbp {
 
@@ -220,6 +221,77 @@ registerRunMetrics(MetricsRegistry &reg, const RunResult &r)
                         static_cast<std::uint64_t>(d.get(r)));
         else
             reg.gauge(d.name, d.unit, d.help, d.get(r));
+    }
+}
+
+const std::vector<SweepMetricDesc> &
+sweepMetrics()
+{
+    // Manifest counter order — the sweep-smoke CI job keys on these
+    // exact names; append, never reorder.
+    static const std::vector<SweepMetricDesc> table = {
+        {"sweep_cells_total", "count",
+         "(configuration x workload) cells scheduled by the sweep",
+         true,
+         [](const SweepStats &s) { return u64Field(s.cellsTotal); }},
+        {"sweep_cells_simulated", "count",
+         "Cells actually simulated (neither cache nor store had them)",
+         true,
+         [](const SweepStats &s) { return u64Field(s.cellsSimulated); }},
+        {"sweep_cells_store_hit", "count",
+         "Cells served from the persistent on-disk result store", true,
+         [](const SweepStats &s) { return u64Field(s.cellsStoreHit); }},
+        {"sweep_cells_cache_hit", "count",
+         "Cells served from the in-process SuiteCache", true,
+         [](const SweepStats &s) { return u64Field(s.cellsCacheHit); }},
+        {"store_hits", "count",
+         "Result-store loads that returned a usable entry", true,
+         [](const SweepStats &s) { return u64Field(s.storeHits); }},
+        {"store_misses", "count",
+         "Result-store loads with no usable entry (includes stale)",
+         true,
+         [](const SweepStats &s) { return u64Field(s.storeMisses); }},
+        {"store_stale", "count",
+         "Store entries invalidated (fingerprint/key mismatch) and "
+         "removed",
+         true,
+         [](const SweepStats &s) { return u64Field(s.storeStale); }},
+        {"store_writes", "count",
+         "Freshly simulated configs persisted to the result store",
+         true,
+         [](const SweepStats &s) { return u64Field(s.storeWrites); }},
+        {"sweep_sim_instrs", "count",
+         "Instructions simulated by the sweep (warm-up included)", true,
+         [](const SweepStats &s) { return u64Field(s.simInstrs); }},
+        {"sweep_wall_s", "seconds", "Whole-sweep wall-clock time",
+         false, [](const SweepStats &s) { return s.wallSeconds; }},
+        {"sweep_cell_wall_s", "seconds",
+         "Sum of simulated cells' wall times (the event-log cell "
+         "entries sum to this)",
+         false, [](const SweepStats &s) { return s.cellWallSeconds; }},
+        {"sweep_minstr_per_s", "Minstr/s",
+         "Simulated-instruction throughput over the whole sweep wall "
+         "time",
+         false,
+         [](const SweepStats &s) {
+             return s.wallSeconds > 0.0
+                        ? static_cast<double>(s.simInstrs) / 1e6 /
+                              s.wallSeconds
+                        : 0.0;
+         }},
+    };
+    return table;
+}
+
+void
+registerSweepMetrics(MetricsRegistry &reg, const SweepStats &s)
+{
+    for (const SweepMetricDesc &d : sweepMetrics()) {
+        if (d.integral)
+            reg.counter(d.name, d.unit, d.help,
+                        static_cast<std::uint64_t>(d.get(s)));
+        else
+            reg.gauge(d.name, d.unit, d.help, d.get(s));
     }
 }
 

@@ -27,6 +27,7 @@
 namespace lbp {
 
 struct RunResult;
+struct SweepStats;
 
 /**
  * Power-of-two bucketed histogram with a fixed, compile-time bucket
@@ -169,6 +170,28 @@ const std::vector<RunMetricDesc> &runMetrics();
 
 /** Register every runMetrics() entry of @p r into @p reg. */
 void registerRunMetrics(MetricsRegistry &reg, const RunResult &r);
+
+/**
+ * Descriptor tying one exported sweep-level counter to its SweepStats
+ * field (sim/sweep.hh) — the orchestration/store analogue of
+ * RunMetricDesc. The table (sweepMetrics()) names everything the sweep
+ * manifest's "counters" object contains, so the manifest, the
+ * sweep-smoke CI assertions, and docs/METRICS.md share one authority.
+ */
+struct SweepMetricDesc
+{
+    const char *name;  ///< manifest counter name
+    const char *unit;
+    const char *help;
+    bool integral;               ///< counter (true) vs gauge (false)
+    double (*get)(const SweepStats &);  ///< field accessor
+};
+
+/** The sweep-counter table, in manifest order (append, never reorder). */
+const std::vector<SweepMetricDesc> &sweepMetrics();
+
+/** Register every sweepMetrics() entry of @p s into @p reg. */
+void registerSweepMetrics(MetricsRegistry &reg, const SweepStats &s);
 
 } // namespace lbp
 

@@ -1,0 +1,113 @@
+#include "obs/port_analysis.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/stats.hh"
+
+namespace lbp {
+
+namespace {
+
+std::uint64_t
+drainCycles(std::uint64_t work, unsigned ports)
+{
+    // ceil(work / ports); zero work drains in zero cycles.
+    return (work + ports - 1) / ports;
+}
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+} // namespace
+
+std::vector<PortAnalysisRow>
+portAnalysis(const std::vector<const ObsRun *> &runs,
+             const std::vector<unsigned> &portCounts)
+{
+    std::vector<PortAnalysisRow> rows;
+    rows.reserve(portCounts.size());
+    for (const unsigned ports : portCounts) {
+        PortAnalysisRow row;
+        row.ports = ports ? ports : 1;
+        std::uint64_t walkDrainSum = 0;
+        std::uint64_t writeDrainSum = 0;
+        for (const ObsRun *run : runs) {
+            for (const SquashRecord &rec : run->squashes) {
+                ++row.squashes;
+                if (rec.walkLength <= row.ports)
+                    ++row.walkSingleCycle;
+                if (rec.repairWrites <= row.ports)
+                    ++row.writeSingleCycle;
+                const std::uint64_t walkDrain =
+                    drainCycles(rec.walkLength, row.ports);
+                const std::uint64_t writeDrain =
+                    drainCycles(rec.repairWrites, row.ports);
+                walkDrainSum += walkDrain;
+                writeDrainSum += writeDrain;
+                if (walkDrain > row.maxWalkDrainCycles)
+                    row.maxWalkDrainCycles = walkDrain;
+                if (writeDrain > row.maxWriteDrainCycles)
+                    row.maxWriteDrainCycles = writeDrain;
+            }
+        }
+        if (row.squashes) {
+            const double n = static_cast<double>(row.squashes);
+            row.walkSingleCyclePct =
+                100.0 * static_cast<double>(row.walkSingleCycle) / n;
+            row.writeSingleCyclePct =
+                100.0 * static_cast<double>(row.writeSingleCycle) / n;
+            row.avgWalkDrainCycles =
+                static_cast<double>(walkDrainSum) / n;
+            row.avgWriteDrainCycles =
+                static_cast<double>(writeDrainSum) / n;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+void
+writePortAnalysisCsv(std::ostream &os,
+                     const std::vector<PortAnalysisRow> &rows)
+{
+    os << "ports,squashes,walk_single_cycle,walk_single_cycle_pct,"
+          "avg_walk_drain_cycles,max_walk_drain_cycles,"
+          "write_single_cycle,write_single_cycle_pct,"
+          "avg_write_drain_cycles,max_write_drain_cycles\n";
+    for (const PortAnalysisRow &r : rows) {
+        os << r.ports << ',' << r.squashes << ',' << r.walkSingleCycle
+           << ',' << fmt("%.4f", r.walkSingleCyclePct) << ','
+           << fmt("%.6f", r.avgWalkDrainCycles) << ','
+           << r.maxWalkDrainCycles << ',' << r.writeSingleCycle << ','
+           << fmt("%.4f", r.writeSingleCyclePct) << ','
+           << fmt("%.6f", r.avgWriteDrainCycles) << ','
+           << r.maxWriteDrainCycles << '\n';
+    }
+}
+
+std::string
+formatPortAnalysis(const std::vector<PortAnalysisRow> &rows)
+{
+    TextTable table({"ports", "squashes", "walk<=1cyc%", "avg walk cyc",
+                     "max walk cyc", "write<=1cyc%", "avg write cyc",
+                     "max write cyc"});
+    for (const PortAnalysisRow &r : rows) {
+        table.addRow({std::to_string(r.ports),
+                      std::to_string(r.squashes),
+                      fmt("%.1f", r.walkSingleCyclePct),
+                      fmt("%.2f", r.avgWalkDrainCycles),
+                      std::to_string(r.maxWalkDrainCycles),
+                      fmt("%.1f", r.writeSingleCyclePct),
+                      fmt("%.2f", r.avgWriteDrainCycles),
+                      std::to_string(r.maxWriteDrainCycles)});
+    }
+    return table.render();
+}
+
+} // namespace lbp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure-8-style port-sensitivity analysis over squash forensics.
+ *
+ * The paper's core cost argument (sections 2.4-2.5, Figures 8/10-13)
+ * is that a repair episode must re-walk OBQ entries and rewrite BHT
+ * rows, and the OBQ read / BHT write port counts bound how fast that
+ * drains — realistic ports retain only part of the perfect-repair
+ * gain. The forensics channel records exactly the per-squash work
+ * (SquashRecord::walkLength, ::repairWrites); this module aggregates
+ * those records into "repairs needed vs available ports" rows: for
+ * each candidate port count, how many squashes would have drained in a
+ * single cycle, and the mean/worst drain occupancy ceil(work/ports).
+ *
+ * Reconciliation is exact by construction: every row aggregates every
+ * record, so row.squashes equals the summed ObsRun::squashes sizes —
+ * tests/test_sweep.cc asserts this against the raw records.
+ */
+
+#ifndef LBP_OBS_PORT_ANALYSIS_HH
+#define LBP_OBS_PORT_ANALYSIS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace lbp {
+
+/** Aggregated repair-port demand for one candidate port count. */
+struct PortAnalysisRow
+{
+    unsigned ports = 1;  ///< OBQ read / BHT write ports modeled
+
+    /** Squash records aggregated — identical in every row, and equal
+     *  to the summed ObsRun::squashes sizes (reconciliation anchor). */
+    std::uint64_t squashes = 0;
+
+    std::uint64_t walkSingleCycle = 0;   ///< walks with length <= ports
+    std::uint64_t writeSingleCycle = 0;  ///< writes fitting in one cycle
+    double walkSingleCyclePct = 0.0;     ///< 100 * walkSingleCycle / squashes
+    double writeSingleCyclePct = 0.0;    ///< 100 * writeSingleCycle / squashes
+    double avgWalkDrainCycles = 0.0;     ///< mean ceil(walkLength / ports)
+    std::uint64_t maxWalkDrainCycles = 0;   ///< worst-case walk drain
+    double avgWriteDrainCycles = 0.0;    ///< mean ceil(repairWrites / ports)
+    std::uint64_t maxWriteDrainCycles = 0;  ///< worst-case write drain
+};
+
+/**
+ * Aggregate every squash record of @p runs into one row per entry of
+ * @p portCounts (row order follows @p portCounts). Deterministic: pure
+ * arithmetic over the records, no clocks, no allocation surprises.
+ */
+std::vector<PortAnalysisRow>
+portAnalysis(const std::vector<const ObsRun *> &runs,
+             const std::vector<unsigned> &portCounts);
+
+/** Emit @p rows as CSV with a header row (docs/SWEEP.md schema). */
+void writePortAnalysisCsv(std::ostream &os,
+                          const std::vector<PortAnalysisRow> &rows);
+
+/** Render @p rows as an aligned text table (lbpsweep --port-analysis). */
+std::string formatPortAnalysis(const std::vector<PortAnalysisRow> &rows);
+
+} // namespace lbp
+
+#endif // LBP_OBS_PORT_ANALYSIS_HH

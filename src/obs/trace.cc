@@ -57,7 +57,8 @@ ringCapacityFor(std::uint64_t window_cycles)
 
 PipelineTracer::PipelineTracer(const ObsConfig &cfg)
     : tracing_(cfg.trace), forensics_(cfg.forensics),
-      windowCycles_(cfg.traceWindowCycles)
+      windowCycles_(cfg.traceWindowCycles),
+      stride_(cfg.forensicsStride ? cfg.forensicsStride : 1)
 {
     if (tracing_)
         ring_.resize(ringCapacityFor(windowCycles_));
@@ -67,6 +68,14 @@ void
 PipelineTracer::squash(const SquashRecord &rec)
 {
     if (!forensics_)
+        return;
+    // Striding counts every squash but records (and samples the
+    // histograms for) every stride_-th one, starting with the first —
+    // records == ceil(seen / stride) holds at every point, which is
+    // the reconciliation tests/test_trace.cc pins.
+    const bool record = squashSeen_ % stride_ == 0;
+    ++squashSeen_;
+    if (!record)
         return;
     squashes_.push_back(rec);
     resolveLatency_.sample(rec.resolveLatency);
@@ -80,6 +89,7 @@ PipelineTracer::finish()
 {
     ObsRun out;
     out.squashes = std::move(squashes_);
+    out.forensicsStride = stride_;
     out.resolveLatency = resolveLatency_;
     out.robOccupancy = robOccupancy_;
     out.walkLength = walkLength_;
@@ -299,6 +309,27 @@ writeKonata(std::ostream &os, const ObsRun &run)
         }
         os << c.text;
     }
+}
+
+std::string
+konataRunPath(const std::string &base, const std::string &workload)
+{
+    std::string tag;
+    tag.reserve(workload.size());
+    for (const char c : workload) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '-' ||
+                          c == '_';
+        tag += keep ? c : '_';
+    }
+    const std::size_t slash = base.find_last_of('/');
+    const std::size_t dot = base.find_last_of('.');
+    // A dot inside a directory component is not an extension.
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + '.' + tag;
+    return base.substr(0, dot) + '.' + tag + base.substr(dot);
 }
 
 // ---------------------------------------------------------------------

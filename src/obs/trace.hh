@@ -49,6 +49,14 @@ struct ObsConfig
     bool forensics = false;  ///< collect per-squash records + histograms
     /** Cycle span the dumped event window covers (last N cycles). */
     std::uint64_t traceWindowCycles = 20000;
+    /**
+     * Forensics sampling stride: record every Nth squash starting with
+     * the first (0 behaves as 1 = record all). Long runs keep the
+     * capture bounded at 1/N records; the factor is recorded in
+     * ObsRun::forensicsStride so sampled counts stay reconcilable —
+     * records == ceil(totalMispredicts / stride) exactly.
+     */
+    std::uint64_t forensicsStride = 1;
 };
 
 /** Pipeline stage a trace event belongs to. */
@@ -118,8 +126,18 @@ struct ObsRun
 
     /** Stage events inside the final window, in emission order. */
     std::vector<TraceRecord> events;
-    /** One record per execute-time squash, whole run, in order. */
+    /**
+     * Squash records, whole run, in order: every squash at the default
+     * stride 1, every forensicsStride-th (starting with the first)
+     * otherwise.
+     */
     std::vector<SquashRecord> squashes;
+
+    /**
+     * Sampling factor the squashes were captured at. Reconciliation:
+     * squashes.size() == ceil(totalMispredicts / forensicsStride).
+     */
+    std::uint64_t forensicsStride = 1;
 
     FixedHistogram resolveLatency;  ///< cycles, per squashed branch
     FixedHistogram robOccupancy;    ///< ROB entries at each squash
@@ -195,6 +213,8 @@ class PipelineTracer
     bool tracing_ = false;
     bool forensics_ = false;
     std::uint64_t windowCycles_ = 0;
+    std::uint64_t stride_ = 1;      ///< forensics sampling factor
+    std::uint64_t squashSeen_ = 0;  ///< squash() calls (incl. skipped)
     std::vector<TraceRecord> ring_;  ///< power-of-two capacity
     std::uint64_t head_ = 0;         ///< monotonic event count
     std::uint64_t wrongPathAtDiverge_ = 0;
@@ -220,6 +240,17 @@ void writeChromeTrace(std::ostream &os,
  * retirement/flush terminators. Open with the Konata viewer.
  */
 void writeKonata(std::ostream &os, const ObsRun &run);
+
+/**
+ * Per-run output path for multi-run Konata dumps: the workload name
+ * (with ':' and any other non-[A-Za-z0-9_-] byte sanitized to '_') is
+ * inserted before the base path's extension —
+ * konataRunPath("t.kanata", "Server:0") == "t.Server_0.kanata"; a base
+ * without an extension gets the tag appended ("t" -> "t.Server_0").
+ * Naming documented in docs/TRACING.md.
+ */
+std::string konataRunPath(const std::string &base,
+                          const std::string &workload);
 
 /**
  * Emit the forensics CSV: one row per squash across @p runs (a

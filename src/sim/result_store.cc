@@ -1,0 +1,386 @@
+#include "sim/result_store.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lbp {
+
+namespace {
+
+constexpr const char *kMagic = "lbp-result-store 1";
+
+/** FNV-1a 64-bit over @p s. */
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), " %" PRIu64, v);
+    out += buf;
+}
+
+/** Hex-float rendering: exact round trip, no locale dependence. */
+void
+appendF64(std::string &out, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " %a", v);
+    out += buf;
+}
+
+/** Pull the next space-separated token off @p is into a u64. */
+bool
+readU64(std::istringstream &is, std::uint64_t &v)
+{
+    std::string tok;
+    if (!(is >> tok))
+        return false;
+    char *end = nullptr;
+    v = std::strtoull(tok.c_str(), &end, 10);
+    return end && *end == '\0';
+}
+
+bool
+readF64(std::istringstream &is, double &v)
+{
+    std::string tok;
+    if (!(is >> tok))
+        return false;
+    char *end = nullptr;
+    v = std::strtod(tok.c_str(), &end);
+    return end && *end == '\0';
+}
+
+/** Line must start with @p tag followed by a space (or be exactly it). */
+bool
+stripTag(const std::string &line, const char *tag, std::string &rest)
+{
+    const std::size_t n = std::strlen(tag);
+    if (line.compare(0, n, tag) != 0)
+        return false;
+    if (line.size() == n) {
+        rest.clear();
+        return true;
+    }
+    if (line[n] != ' ')
+        return false;
+    rest = line.substr(n + 1);
+    return true;
+}
+
+} // namespace
+
+const std::string &
+buildFingerprint()
+{
+    static const std::string fp = [] {
+        std::string f = "store-v1;golden=";
+#ifdef LBP_GOLDEN_FIXTURE_HASH
+        f += LBP_GOLDEN_FIXTURE_HASH;
+#else
+        f += "unknown";
+#endif
+        f += ";compiler=";
+        f += __VERSION__;
+#ifdef LBP_AUDIT
+        f += ";audit";
+#endif
+#ifdef NDEBUG
+        f += ";ndebug";
+#endif
+        return f;
+    }();
+    return fp;
+}
+
+void
+serializeSuiteResult(std::ostream &os, const std::string &fingerprint,
+                     const std::string &suite_key,
+                     const std::string &config_key,
+                     const SuiteResult &res)
+{
+    os << kMagic << '\n'
+       << "fingerprint " << fingerprint << '\n'
+       << "suite " << suite_key << '\n'
+       << "config " << config_key << '\n';
+    std::string tel = "telemetry";
+    appendU64(tel, res.telemetry.simInstrs);
+    tel += ' ';
+    tel += res.telemetry.label;
+    os << tel << '\n';
+    os << "runs " << res.runs.size() << '\n';
+    for (const RunResult &r : res.runs) {
+        // Workload/category names are space-free by construction
+        // (suite.cc "Category:N"); '|' keeps the pair one token each.
+        os << "run " << r.workload << '|' << r.category << '\n';
+        std::string line = "cs";
+        appendU64(line, r.stats.cycles);
+        appendU64(line, r.stats.retiredInstrs);
+        appendU64(line, r.stats.retiredCond);
+        appendU64(line, r.stats.mispredicts);
+        appendU64(line, r.stats.earlyResteers);
+        appendU64(line, r.stats.wrongPathFetched);
+        appendU64(line, r.stats.btbMisses);
+        appendU64(line, r.stats.fetchedInstrs);
+        os << line << '\n';
+        line = "rc";
+        appendU64(line, r.overrides);
+        appendU64(line, r.overridesCorrect);
+        appendU64(line, r.repairs);
+        appendU64(line, r.repairWrites);
+        appendU64(line, r.earlyResteers);
+        appendU64(line, r.earlyResteersWrong);
+        appendU64(line, r.uncheckpointedMispredicts);
+        appendU64(line, r.deniedPredictions);
+        appendU64(line, r.skippedSpecUpdates);
+        appendU64(line, r.maxRepairsNeeded);
+        os << line << '\n';
+        line = "au";
+        appendU64(line, r.auditChecks);
+        appendU64(line, r.auditViolations);
+        appendU64(line, r.auditResyncs);
+        appendU64(line, r.auditSkipped);
+        appendU64(line, r.auditUncovered);
+        os << line << '\n';
+        line = "ca";
+        appendU64(line, r.cacheAccesses);
+        appendU64(line, r.cacheMisses);
+        appendU64(line, r.cachePrefetchFills);
+        os << line << '\n';
+        line = "fp";
+        appendF64(line, r.ipc);
+        appendF64(line, r.mpki);
+        appendF64(line, r.avgRepairsNeeded);
+        appendF64(line, r.avgWalkLength);
+        appendF64(line, r.avgRepairWrites);
+        appendF64(line, r.avgRepairCycles);
+        appendF64(line, r.tageKB);
+        appendF64(line, r.localKB);
+        appendF64(line, r.repairKB);
+        os << line << '\n';
+    }
+    os << "end\n";
+}
+
+std::unique_ptr<SuiteResult>
+deserializeSuiteResult(std::istream &is,
+                       const std::string &fingerprint,
+                       const std::string &suite_key,
+                       const std::string &config_key)
+{
+    std::string line, rest;
+    if (!std::getline(is, line) || line != kMagic)
+        return nullptr;
+    if (!std::getline(is, line) ||
+        !stripTag(line, "fingerprint", rest) || rest != fingerprint)
+        return nullptr;
+    if (!std::getline(is, line) || !stripTag(line, "suite", rest) ||
+        rest != suite_key)
+        return nullptr;
+    if (!std::getline(is, line) || !stripTag(line, "config", rest) ||
+        rest != config_key)
+        return nullptr;
+
+    auto res = std::make_unique<SuiteResult>();
+    if (!std::getline(is, line) || !stripTag(line, "telemetry", rest))
+        return nullptr;
+    {
+        std::istringstream ls(rest);
+        if (!readU64(ls, res->telemetry.simInstrs))
+            return nullptr;
+        std::string label;
+        std::getline(ls, label);
+        if (!label.empty() && label.front() == ' ')
+            label.erase(0, 1);
+        res->telemetry.label = label;
+        // A loaded entry performed no simulation in this process.
+        res->telemetry.memoHit = true;
+        res->telemetry.wallSeconds = 0.0;
+        res->telemetry.simInstrs = 0;
+    }
+
+    if (!std::getline(is, line) || !stripTag(line, "runs", rest))
+        return nullptr;
+    const std::uint64_t n = std::strtoull(rest.c_str(), nullptr, 10);
+    res->runs.resize(n);
+    res->telemetry.workloads = n;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        RunResult &r = res->runs[i];
+        if (!std::getline(is, line) || !stripTag(line, "run", rest))
+            return nullptr;
+        const std::size_t bar = rest.find('|');
+        if (bar == std::string::npos)
+            return nullptr;
+        r.workload = rest.substr(0, bar);
+        r.category = rest.substr(bar + 1);
+
+        if (!std::getline(is, line) || !stripTag(line, "cs", rest))
+            return nullptr;
+        std::istringstream cs(rest);
+        if (!readU64(cs, r.stats.cycles) ||
+            !readU64(cs, r.stats.retiredInstrs) ||
+            !readU64(cs, r.stats.retiredCond) ||
+            !readU64(cs, r.stats.mispredicts) ||
+            !readU64(cs, r.stats.earlyResteers) ||
+            !readU64(cs, r.stats.wrongPathFetched) ||
+            !readU64(cs, r.stats.btbMisses) ||
+            !readU64(cs, r.stats.fetchedInstrs))
+            return nullptr;
+
+        if (!std::getline(is, line) || !stripTag(line, "rc", rest))
+            return nullptr;
+        std::istringstream rc(rest);
+        if (!readU64(rc, r.overrides) ||
+            !readU64(rc, r.overridesCorrect) ||
+            !readU64(rc, r.repairs) || !readU64(rc, r.repairWrites) ||
+            !readU64(rc, r.earlyResteers) ||
+            !readU64(rc, r.earlyResteersWrong) ||
+            !readU64(rc, r.uncheckpointedMispredicts) ||
+            !readU64(rc, r.deniedPredictions) ||
+            !readU64(rc, r.skippedSpecUpdates) ||
+            !readU64(rc, r.maxRepairsNeeded))
+            return nullptr;
+
+        if (!std::getline(is, line) || !stripTag(line, "au", rest))
+            return nullptr;
+        std::istringstream au(rest);
+        if (!readU64(au, r.auditChecks) ||
+            !readU64(au, r.auditViolations) ||
+            !readU64(au, r.auditResyncs) ||
+            !readU64(au, r.auditSkipped) ||
+            !readU64(au, r.auditUncovered))
+            return nullptr;
+
+        if (!std::getline(is, line) || !stripTag(line, "ca", rest))
+            return nullptr;
+        std::istringstream ca(rest);
+        if (!readU64(ca, r.cacheAccesses) ||
+            !readU64(ca, r.cacheMisses) ||
+            !readU64(ca, r.cachePrefetchFills))
+            return nullptr;
+
+        if (!std::getline(is, line) || !stripTag(line, "fp", rest))
+            return nullptr;
+        std::istringstream fp(rest);
+        if (!readF64(fp, r.ipc) || !readF64(fp, r.mpki) ||
+            !readF64(fp, r.avgRepairsNeeded) ||
+            !readF64(fp, r.avgWalkLength) ||
+            !readF64(fp, r.avgRepairWrites) ||
+            !readF64(fp, r.avgRepairCycles) ||
+            !readF64(fp, r.tageKB) || !readF64(fp, r.localKB) ||
+            !readF64(fp, r.repairKB))
+            return nullptr;
+    }
+    if (!std::getline(is, line) || line != "end")
+        return nullptr;
+    return res;
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultStore::entryFileName(const std::string &fingerprint,
+                           const std::string &suite_key,
+                           const std::string &config_key)
+{
+    const std::uint64_t h =
+        fnv1a64(fingerprint + '\n' + suite_key + '\n' + config_key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 ".result", h);
+    return buf;
+}
+
+std::unique_ptr<SuiteResult>
+ResultStore::load(const std::string &suite_key,
+                  const std::string &config_key)
+{
+    const std::string &fp = buildFingerprint();
+    const std::filesystem::path path =
+        std::filesystem::path(dir_) /
+        entryFileName(fp, suite_key, config_key);
+
+    std::lock_guard<std::mutex> lk(mu_);
+    std::ifstream in(path);
+    if (!in) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    auto res = deserializeSuiteResult(in, fp, suite_key, config_key);
+    if (!res) {
+        // Stale (old fingerprint / collision / truncation): the entry
+        // can never be used again under this build, so remove it.
+        ++stats_.stale;
+        ++stats_.misses;
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        return nullptr;
+    }
+    ++stats_.hits;
+    return res;
+}
+
+bool
+ResultStore::save(const std::string &suite_key,
+                  const std::string &config_key, const SuiteResult &res)
+{
+    const std::string &fp = buildFingerprint();
+    const std::filesystem::path dir(dir_);
+    const std::filesystem::path path =
+        dir / entryFileName(fp, suite_key, config_key);
+    const std::filesystem::path tmp =
+        path.string() + ".tmp";
+
+    std::lock_guard<std::mutex> lk(mu_);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warnImpl(("result store: cannot write " + tmp.string())
+                         .c_str());
+            return false;
+        }
+        serializeSuiteResult(out, fp, suite_key, config_key, res);
+        if (!out) {
+            warnImpl(("result store: short write to " + tmp.string())
+                         .c_str());
+            return false;
+        }
+    }
+    // Rename-into-place keeps concurrent readers from seeing a torn
+    // entry (they either miss or read a complete file).
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warnImpl(("result store: cannot install " + path.string())
+                     .c_str());
+        return false;
+    }
+    ++stats_.writes;
+    return true;
+}
+
+ResultStore::StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+} // namespace lbp

@@ -147,11 +147,17 @@ suiteKey(const std::vector<Program> &suite)
     return k;
 }
 
+std::string
+suiteCacheKey(const std::vector<Program> &suite, const SimConfig &cfg)
+{
+    return suiteKey(suite) + '\n' + configKey(cfg);
+}
+
 const SuiteResult &
 SuiteCache::run(const std::vector<Program> &suite, const SimConfig &cfg,
                 unsigned jobs)
 {
-    const std::string key = suiteKey(suite) + '\n' + configKey(cfg);
+    const std::string key = suiteCacheKey(suite, cfg);
     {
         std::lock_guard<std::mutex> lk(mu_);
         auto it = map_.find(key);
@@ -179,6 +185,27 @@ SuiteCache::run(const std::vector<Program> &suite, const SimConfig &cfg,
         ++stats_.misses;
     else
         ++stats_.hits;
+    return *it->second;
+}
+
+const SuiteResult *
+SuiteCache::find(const std::string &key)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end())
+        return nullptr;
+    ++stats_.hits;
+    return it->second.get();
+}
+
+const SuiteResult &
+SuiteCache::insert(const std::string &key, SuiteResult res)
+{
+    auto owned = std::make_unique<SuiteResult>(std::move(res));
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = map_.emplace(key, std::move(owned));
+    (void)inserted;
     return *it->second;
 }
 

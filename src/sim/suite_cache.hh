@@ -38,6 +38,14 @@ std::string configKey(const SimConfig &cfg);
 /** Structural fingerprint of a built suite (names + CFG shape). */
 std::string suiteKey(const std::vector<Program> &suite);
 
+/**
+ * Combined cache key, suiteKey + '\n' + configKey — the exact key
+ * SuiteCache uses internally, exposed so the sweep orchestrator and
+ * the result store can address entries without re-deriving the format.
+ */
+std::string suiteCacheKey(const std::vector<Program> &suite,
+                          const SimConfig &cfg);
+
 class SuiteCache
 {
   public:
@@ -54,6 +62,22 @@ class SuiteCache
      */
     const SuiteResult &run(const std::vector<Program> &suite,
                            const SimConfig &cfg, unsigned jobs = 0);
+
+    /**
+     * Look up a precomputed key (suiteCacheKey) without simulating on
+     * miss. Counts a hit when found; a miss is NOT counted (the caller
+     * decides what a failed probe means) and no telemetry is recorded.
+     * Null on miss; otherwise stable until clear().
+     */
+    const SuiteResult *find(const std::string &key);
+
+    /**
+     * Insert an externally produced result (e.g. loaded from the
+     * persistent store) under @p key. First insert wins; the returned
+     * reference is the canonical entry either way, stable until
+     * clear(). Does not touch hit/miss counters.
+     */
+    const SuiteResult &insert(const std::string &key, SuiteResult res);
 
     CacheStats stats() const;
     std::size_t entries() const;

@@ -1,0 +1,404 @@
+#include "sim/sweep.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+
+#include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "sim/result_store.hh"
+#include "sim/suite_cache.hh"
+
+namespace lbp {
+
+namespace {
+
+const char *
+outcomeName(SweepCell::Outcome o)
+{
+    switch (o) {
+      case SweepCell::Outcome::Simulated:
+        return "simulated";
+      case SweepCell::Outcome::StoreHit:
+        return "store_hit";
+      case SweepCell::Outcome::CacheHit:
+        return "cache_hit";
+    }
+    return "unknown";
+}
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+/**
+ * Deterministic, lossless double rendering (%.17g round-trips IEEE
+ * doubles): cold- and warm-store sweeps must emit identical bytes.
+ */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+double
+cellMinstrPerSec(const SweepCell &cell)
+{
+    if (cell.wallSeconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(cell.simInstrs) / 1e6 / cell.wallSeconds;
+}
+
+void
+emitCellEvent(std::ostream &os, const SweepConfig &cfg,
+              const SweepCell &cell)
+{
+    os << "{\"event\":\"cell\",\"config\":";
+    jsonEscape(os, cfg.name);
+    os << ",\"workload\":";
+    jsonEscape(os, cell.workload);
+    os << ",\"outcome\":\"" << outcomeName(cell.outcome) << '"'
+       << ",\"wall_s\":" << num(cell.wallSeconds)
+       << ",\"minstr_per_s\":" << num(cellMinstrPerSec(cell))
+       << ",\"worker\":" << cell.worker << "}\n";
+}
+
+void
+emitConfigEvent(std::ostream &os, const SweepConfig &cfg,
+                const std::string &config_key, SweepCell::Outcome outcome,
+                double wallSeconds)
+{
+    os << "{\"event\":\"config\",\"config\":";
+    jsonEscape(os, cfg.name);
+    os << ",\"key\":";
+    jsonEscape(os, config_key);
+    os << ",\"outcome\":\"" << outcomeName(outcome) << '"'
+       << ",\"wall_s\":" << num(wallSeconds) << "}\n";
+}
+
+} // namespace
+
+std::string
+renderSweepProgress(std::size_t done, std::size_t total,
+                    double elapsedSeconds)
+{
+    const double pct =
+        total ? 100.0 * static_cast<double>(done) /
+                    static_cast<double>(total)
+              : 100.0;
+    char buf[160];
+    if (done > 0 && elapsedSeconds > 0.0) {
+        const double rate =
+            static_cast<double>(done) / elapsedSeconds;
+        const double eta =
+            static_cast<double>(total - done) / rate;
+        std::snprintf(buf, sizeof(buf),
+                      "[sweep] %llu/%llu cells (%.1f%%) %.1f cells/s "
+                      "ETA %.0fs",
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total), pct, rate,
+                      eta);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "[sweep] %llu/%llu cells (%.1f%%) ETA --",
+                      static_cast<unsigned long long>(done),
+                      static_cast<unsigned long long>(total), pct);
+    }
+    return buf;
+}
+
+SweepResult
+runSweep(const std::vector<Program> &suite,
+         const std::vector<SweepConfig> &configs,
+         const SweepOptions &opts)
+{
+    SweepResult out;
+    SuiteCache &cache = opts.cache ? *opts.cache : SuiteCache::process();
+    const std::size_t nc = configs.size();
+    const std::size_t nw = suite.size();
+    out.suiteKey = suiteKey(suite);
+    out.configKeys.resize(nc);
+    out.configResults.assign(nc, nullptr);
+    out.cells.resize(nc * nw);
+    out.jobs = resolveJobs(opts.jobs);
+    out.stats.cellsTotal = nc * nw;
+
+    const ResultStore::StoreStats storeBefore =
+        opts.store ? opts.store->stats() : ResultStore::StoreStats{};
+
+    Stopwatch sweepSw;
+    if (opts.eventLog)
+        *opts.eventLog << "{\"event\":\"sweep_start\",\"configs\":" << nc
+                       << ",\"workloads\":" << nw
+                       << ",\"cells\":" << nc * nw << "}\n";
+
+    for (std::size_t c = 0; c < nc; ++c) {
+        for (std::size_t w = 0; w < nw; ++w) {
+            SweepCell &cell = out.cells[c * nw + w];
+            cell.configIndex = c;
+            cell.workloadIndex = w;
+            cell.workload = suite[w].name;
+        }
+    }
+
+    // Phase 1 (serial): probe the cache, then the store, per config.
+    // Store loads enter the cache so the cache owns every result the
+    // sweep hands out, whatever its origin.
+    std::vector<std::size_t> pending;
+    std::size_t done = 0;
+    for (std::size_t c = 0; c < nc; ++c) {
+        out.configKeys[c] = configKey(configs[c].cfg);
+        const std::string key = out.suiteKey + '\n' + out.configKeys[c];
+
+        SweepCell::Outcome outcome = SweepCell::Outcome::Simulated;
+        if (const SuiteResult *hit = cache.find(key)) {
+            out.configResults[c] = hit;
+            outcome = SweepCell::Outcome::CacheHit;
+            out.stats.cellsCacheHit += nw;
+        } else if (opts.store) {
+            if (auto loaded =
+                    opts.store->load(out.suiteKey, out.configKeys[c])) {
+                out.configResults[c] =
+                    &cache.insert(key, std::move(*loaded));
+                outcome = SweepCell::Outcome::StoreHit;
+                out.stats.cellsStoreHit += nw;
+            }
+        }
+        if (outcome == SweepCell::Outcome::Simulated) {
+            pending.push_back(c);
+            continue;
+        }
+
+        done += nw;
+        SuiteTelemetry t;
+        t.label = configLabel(configs[c].cfg);
+        t.workloads = nw;
+        t.memoHit = true;
+        TelemetryRegistry::process().record(std::move(t));
+        for (std::size_t w = 0; w < nw; ++w) {
+            SweepCell &cell = out.cells[c * nw + w];
+            cell.outcome = outcome;
+            if (opts.eventLog)
+                emitCellEvent(*opts.eventLog, configs[c], cell);
+        }
+        if (opts.eventLog)
+            emitConfigEvent(*opts.eventLog, configs[c],
+                            out.configKeys[c], outcome, 0.0);
+    }
+
+    // Phase 2 (parallel): flatten every remaining (config, workload)
+    // pair into one queue; uneven cells self-balance across workers.
+    struct Task
+    {
+        std::size_t c;
+        std::size_t w;
+    };
+    std::vector<Task> tasks;
+    tasks.reserve(pending.size() * nw);
+    for (const std::size_t c : pending)
+        for (std::size_t w = 0; w < nw; ++w)
+            tasks.push_back(Task{c, w});
+
+    std::vector<SuiteResult> fresh(nc);
+    for (const std::size_t c : pending)
+        fresh[c].runs.resize(nw);
+
+    std::mutex mu;  // cell records, stats, event log, progress line
+    const auto runCell = [&](std::size_t t) {
+        const Task &task = tasks[t];
+        const SimConfig &cfg = configs[task.c].cfg;
+        Stopwatch sw;
+        RunResult r = runOne(suite[task.w], cfg);
+        const double secs = sw.seconds();
+        const std::uint64_t instrs =
+            r.stats.retiredInstrs + cfg.warmupInstrs;
+        SweepCell &cell = out.cells[task.c * nw + task.w];
+        fresh[task.c].runs[task.w] = std::move(r);
+
+        std::lock_guard<std::mutex> lk(mu);
+        cell.outcome = SweepCell::Outcome::Simulated;
+        cell.wallSeconds = secs;
+        cell.simInstrs = instrs;
+        cell.worker = ThreadPool::currentIndex();
+        ++out.stats.cellsSimulated;
+        out.stats.cellWallSeconds += secs;
+        out.stats.simInstrs += instrs;
+        ++done;
+        if (opts.eventLog)
+            emitCellEvent(*opts.eventLog, configs[task.c], cell);
+        if (opts.progress) {
+            std::fprintf(opts.progress, "\r%s",
+                         renderSweepProgress(done, out.stats.cellsTotal,
+                                             sweepSw.seconds())
+                             .c_str());
+            std::fflush(opts.progress);
+        }
+    };
+
+    if (!tasks.empty()) {
+        if (out.jobs <= 1) {
+            for (std::size_t t = 0; t < tasks.size(); ++t)
+                runCell(t);
+        } else {
+            ThreadPool pool(out.jobs);
+            pool.parallelFor(tasks.size(), runCell);
+        }
+    }
+
+    // Phase 3 (serial): assemble telemetry, persist, memoize.
+    for (const std::size_t c : pending) {
+        SuiteResult &res = fresh[c];
+        double wall = 0.0;
+        std::uint64_t instrs = 0;
+        for (std::size_t w = 0; w < nw; ++w) {
+            const SweepCell &cell = out.cells[c * nw + w];
+            wall += cell.wallSeconds;
+            instrs += cell.simInstrs;
+        }
+        SuiteTelemetry t;
+        t.label = configLabel(configs[c].cfg);
+        t.workloads = nw;
+        t.jobs = out.jobs;
+        t.wallSeconds = wall;
+        t.simInstrs = instrs;
+        res.telemetry = t;
+        TelemetryRegistry::process().record(std::move(t));
+
+        if (opts.store)
+            opts.store->save(out.suiteKey, out.configKeys[c], res);
+        const std::string key = out.suiteKey + '\n' + out.configKeys[c];
+        out.configResults[c] = &cache.insert(key, std::move(res));
+        if (opts.eventLog)
+            emitConfigEvent(*opts.eventLog, configs[c],
+                            out.configKeys[c],
+                            SweepCell::Outcome::Simulated, wall);
+    }
+
+    if (opts.store) {
+        const ResultStore::StoreStats after = opts.store->stats();
+        out.stats.storeHits = after.hits - storeBefore.hits;
+        out.stats.storeMisses = after.misses - storeBefore.misses;
+        out.stats.storeStale = after.stale - storeBefore.stale;
+        out.stats.storeWrites = after.writes - storeBefore.writes;
+    }
+    out.stats.wallSeconds = sweepSw.seconds();
+
+    if (opts.progress)
+        std::fprintf(opts.progress, "\r%s\n",
+                     renderSweepProgress(done, out.stats.cellsTotal,
+                                         out.stats.wallSeconds)
+                         .c_str());
+    if (opts.eventLog) {
+        const SweepStats &s = out.stats;
+        *opts.eventLog << "{\"event\":\"sweep_end\",\"cells_total\":"
+                       << s.cellsTotal
+                       << ",\"cells_simulated\":" << s.cellsSimulated
+                       << ",\"cells_store_hit\":" << s.cellsStoreHit
+                       << ",\"cells_cache_hit\":" << s.cellsCacheHit
+                       << ",\"store_hits\":" << s.storeHits
+                       << ",\"store_misses\":" << s.storeMisses
+                       << ",\"store_stale\":" << s.storeStale
+                       << ",\"store_writes\":" << s.storeWrites
+                       << ",\"sim_instrs\":" << s.simInstrs
+                       << ",\"cell_wall_s\":" << num(s.cellWallSeconds)
+                       << ",\"wall_s\":" << num(s.wallSeconds) << "}\n";
+    }
+    return out;
+}
+
+void
+writeSweepManifest(std::ostream &os, const SweepResult &res,
+                   const std::vector<SweepConfig> &configs)
+{
+    const std::size_t nc = configs.size();
+    const std::size_t nw = nc ? res.cells.size() / nc : 0;
+    os << "{\n  \"schema\": \"lbp-sweep-manifest-v1\",\n  \"git_sha\": ";
+    jsonEscape(os, gitShaString());
+    os << ",\n  \"fingerprint\": ";
+    jsonEscape(os, buildFingerprint());
+    os << ",\n  \"suite_key\": ";
+    jsonEscape(os, res.suiteKey);
+    os << ",\n  \"jobs\": " << res.jobs << ",\n  \"counters\": ";
+    MetricsRegistry reg;
+    registerSweepMetrics(reg, res.stats);
+    reg.writeJson(os);
+    os << "  ,\n  \"configs\": [\n";
+    for (std::size_t c = 0; c < nc; ++c) {
+        double wall = 0.0;
+        for (std::size_t w = 0; w < nw; ++w)
+            wall += res.cells[c * nw + w].wallSeconds;
+        const SweepCell::Outcome outcome =
+            nw ? res.cells[c * nw].outcome
+               : SweepCell::Outcome::Simulated;
+        os << "    {\"name\": ";
+        jsonEscape(os, configs[c].name);
+        os << ", \"label\": ";
+        jsonEscape(os, configLabel(configs[c].cfg));
+        os << ", \"key\": ";
+        jsonEscape(os, res.configKeys[c]);
+        os << ", \"outcome\": \"" << outcomeName(outcome)
+           << "\", \"wall_s\": " << num(wall) << ",\n     \"cells\": [";
+        for (std::size_t w = 0; w < nw; ++w) {
+            const SweepCell &cell = res.cells[c * nw + w];
+            os << (w ? "," : "") << "\n      {\"workload\": ";
+            jsonEscape(os, cell.workload);
+            os << ", \"outcome\": \"" << outcomeName(cell.outcome)
+               << "\", \"wall_s\": " << num(cell.wallSeconds)
+               << ", \"sim_instrs\": " << cell.simInstrs
+               << ", \"worker\": " << cell.worker << '}';
+        }
+        os << "]}" << (c + 1 < nc ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeSweepCsv(std::ostream &os, const SweepResult &res,
+              const std::vector<SweepConfig> &configs)
+{
+    os << "config,workload,category";
+    for (const RunMetricDesc &d : runMetrics())
+        os << ',' << d.name;
+    os << '\n';
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const SuiteResult *sr = res.configResults[c];
+        if (!sr)
+            continue;
+        for (const RunResult &r : sr->runs) {
+            os << configs[c].name << ',' << r.workload << ','
+               << r.category;
+            for (const RunMetricDesc &d : runMetrics()) {
+                os << ',';
+                if (d.integral)
+                    os << static_cast<std::uint64_t>(d.get(r));
+                else
+                    os << num(d.get(r));
+            }
+            os << '\n';
+        }
+    }
+}
+
+const std::string &
+gitShaString()
+{
+    static const std::string sha =
+#ifdef LBP_GIT_SHA
+        LBP_GIT_SHA;
+#else
+        "unknown";
+#endif
+    return sha;
+}
+
+} // namespace lbp

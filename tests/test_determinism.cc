@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include "sim/runner.hh"
+#include "sim/suite_cache.hh"
+#include "sim/sweep.hh"
 #include "workload/suite.hh"
 
 using namespace lbp;
@@ -136,5 +138,47 @@ TEST(Determinism, ParallelMatchesSerial)
         EXPECT_EQ(serial.telemetry.jobs, 1u);
         EXPECT_EQ(serial.telemetry.simInstrs,
                   parallel.telemetry.simInstrs);
+    }
+}
+
+TEST(Determinism, SweepMatchesSerial)
+{
+    // Sweep orchestration (cell queue over the pool, cache/store
+    // probing, preassigned result slots) must be an observational
+    // no-op: every config's runs are bit-identical to a serial
+    // per-config runSuite() call.
+    SuiteOptions opts;
+    opts.maxWorkloads = 6;
+    const std::vector<Program> suite = buildSuite(opts);
+
+    std::vector<SweepConfig> configs;
+    for (const RepairKind kind :
+         {RepairKind::ForwardWalk, RepairKind::Snapshot,
+          RepairKind::BackwardWalk}) {
+        SimConfig cfg = schemeConfig(kind);
+        cfg.warmupInstrs = 8000;
+        cfg.measureInstrs = 15000;
+        configs.push_back({configLabel(cfg), cfg});
+    }
+
+    SuiteCache cache;
+    SweepOptions so;
+    so.jobs = 4;
+    so.cache = &cache;
+    const SweepResult sweep = runSweep(suite, configs, so);
+    ASSERT_EQ(sweep.configResults.size(), configs.size());
+    EXPECT_EQ(sweep.stats.cellsSimulated,
+              configs.size() * suite.size());
+
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        SCOPED_TRACE(configs[c].name);
+        ASSERT_NE(sweep.configResults[c], nullptr);
+        const SuiteResult serial = runSuite(suite, configs[c].cfg, 1);
+        const SuiteResult &swept = *sweep.configResults[c];
+        ASSERT_EQ(serial.runs.size(), swept.runs.size());
+        for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+            SCOPED_TRACE(serial.runs[i].workload);
+            expectIdentical(serial.runs[i], swept.runs[i]);
+        }
     }
 }

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Persistent result store (src/sim/result_store): bit-exact
+ * serialization round trips, fingerprint/key validation, stale-entry
+ * invalidation, entry-file naming, and the cold-then-warm sweep
+ * contract (the warm pass performs zero simulations yet emits CSVs
+ * byte-identical to the cold pass that populated the store).
+ */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/result_store.hh"
+#include "sim/suite_cache.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+namespace fs = std::filesystem;
+
+namespace {
+
+SimConfig
+schemeConfig(RepairKind kind)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = 5000;
+    cfg.measureInstrs = 8000;
+    cfg.useLocal = true;
+    cfg.repair.kind = kind;
+    return cfg;
+}
+
+std::vector<Program>
+smallSuite(unsigned n)
+{
+    SuiteOptions opts;
+    opts.maxWorkloads = n;
+    return buildSuite(opts);
+}
+
+/** Fresh empty directory under the test temp root. */
+fs::path
+freshDir(const char *name)
+{
+    const fs::path d = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(d);
+    fs::create_directories(d);
+    return d;
+}
+
+/**
+ * Exact equality over every serialized RunResult field — the
+ * round-trip analogue of test_determinism.cc's expectIdentical, plus
+ * identity (workload/category) and storage accounting. Doubles compare
+ * with EXPECT_EQ: the %a hex-float format round-trips IEEE bits.
+ */
+void
+expectRunIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.retiredInstrs, b.stats.retiredInstrs);
+    EXPECT_EQ(a.stats.retiredCond, b.stats.retiredCond);
+    EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+    EXPECT_EQ(a.stats.earlyResteers, b.stats.earlyResteers);
+    EXPECT_EQ(a.stats.wrongPathFetched, b.stats.wrongPathFetched);
+    EXPECT_EQ(a.stats.btbMisses, b.stats.btbMisses);
+    EXPECT_EQ(a.stats.fetchedInstrs, b.stats.fetchedInstrs);
+    EXPECT_EQ(a.overrides, b.overrides);
+    EXPECT_EQ(a.overridesCorrect, b.overridesCorrect);
+    EXPECT_EQ(a.repairs, b.repairs);
+    EXPECT_EQ(a.repairWrites, b.repairWrites);
+    EXPECT_EQ(a.earlyResteers, b.earlyResteers);
+    EXPECT_EQ(a.earlyResteersWrong, b.earlyResteersWrong);
+    EXPECT_EQ(a.uncheckpointedMispredicts, b.uncheckpointedMispredicts);
+    EXPECT_EQ(a.deniedPredictions, b.deniedPredictions);
+    EXPECT_EQ(a.skippedSpecUpdates, b.skippedSpecUpdates);
+    EXPECT_EQ(a.maxRepairsNeeded, b.maxRepairsNeeded);
+    EXPECT_EQ(a.auditChecks, b.auditChecks);
+    EXPECT_EQ(a.auditViolations, b.auditViolations);
+    EXPECT_EQ(a.auditResyncs, b.auditResyncs);
+    EXPECT_EQ(a.auditSkipped, b.auditSkipped);
+    EXPECT_EQ(a.auditUncovered, b.auditUncovered);
+    EXPECT_EQ(a.cacheAccesses, b.cacheAccesses);
+    EXPECT_EQ(a.cacheMisses, b.cacheMisses);
+    EXPECT_EQ(a.cachePrefetchFills, b.cachePrefetchFills);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.mpki, b.mpki);
+    EXPECT_EQ(a.avgRepairsNeeded, b.avgRepairsNeeded);
+    EXPECT_EQ(a.avgWalkLength, b.avgWalkLength);
+    EXPECT_EQ(a.avgRepairWrites, b.avgRepairWrites);
+    EXPECT_EQ(a.avgRepairCycles, b.avgRepairCycles);
+    EXPECT_EQ(a.tageKB, b.tageKB);
+    EXPECT_EQ(a.localKB, b.localKB);
+    EXPECT_EQ(a.repairKB, b.repairKB);
+}
+
+} // namespace
+
+TEST(ResultStore, SerializationRoundTripsEveryFieldExactly)
+{
+    const std::vector<Program> suite = smallSuite(2);
+    const SimConfig cfg = schemeConfig(RepairKind::ForwardWalk);
+    const SuiteResult res = runSuite(suite, cfg, 1);
+    const std::string sk = suiteKey(suite);
+    const std::string ck = configKey(cfg);
+
+    std::stringstream ss;
+    serializeSuiteResult(ss, buildFingerprint(), sk, ck, res);
+    const auto back = deserializeSuiteResult(ss, buildFingerprint(),
+                                             sk, ck);
+    ASSERT_TRUE(back);
+    ASSERT_EQ(back->runs.size(), res.runs.size());
+    for (std::size_t i = 0; i < res.runs.size(); ++i) {
+        SCOPED_TRACE(res.runs[i].workload);
+        expectRunIdentical(res.runs[i], back->runs[i]);
+        // Observability capture is deliberately not persisted.
+        EXPECT_FALSE(back->runs[i].obs);
+    }
+    // A loaded result reports as a hit with no simulation cost.
+    EXPECT_TRUE(back->telemetry.memoHit);
+    EXPECT_EQ(back->telemetry.simInstrs, 0u);
+}
+
+TEST(ResultStore, MismatchedKeysOrFingerprintRejectEntry)
+{
+    const std::vector<Program> suite = smallSuite(1);
+    const SimConfig cfg = schemeConfig(RepairKind::Snapshot);
+    const SuiteResult res = runSuite(suite, cfg, 1);
+    const std::string sk = suiteKey(suite);
+    const std::string ck = configKey(cfg);
+
+    const auto tryLoad = [&](const std::string &fp,
+                             const std::string &suite_key,
+                             const std::string &config_key) {
+        std::stringstream ss;
+        serializeSuiteResult(ss, buildFingerprint(), sk, ck, res);
+        return deserializeSuiteResult(ss, fp, suite_key, config_key);
+    };
+
+    EXPECT_TRUE(tryLoad(buildFingerprint(), sk, ck));
+    EXPECT_FALSE(tryLoad("doctored-fingerprint", sk, ck));
+    EXPECT_FALSE(tryLoad(buildFingerprint(), sk + "x", ck));
+    EXPECT_FALSE(tryLoad(buildFingerprint(), sk, ck + "x"));
+
+    // A truncated entry (missing terminator) must also be rejected.
+    std::stringstream ss;
+    serializeSuiteResult(ss, buildFingerprint(), sk, ck, res);
+    std::string text = ss.str();
+    text.resize(text.size() / 2);
+    std::stringstream cut(text);
+    EXPECT_FALSE(deserializeSuiteResult(cut, buildFingerprint(), sk, ck));
+}
+
+TEST(ResultStore, SaveLoadHitMissAndStaleCounters)
+{
+    const fs::path dir = freshDir("lbp-store-counters");
+    const std::vector<Program> suite = smallSuite(1);
+    const SimConfig cfg = schemeConfig(RepairKind::ForwardWalk);
+    const SuiteResult res = runSuite(suite, cfg, 1);
+    const std::string sk = suiteKey(suite);
+    const std::string ck = configKey(cfg);
+
+    ResultStore store(dir.string());
+    EXPECT_FALSE(store.load(sk, ck));  // cold miss
+    EXPECT_EQ(store.stats().misses, 1u);
+
+    ASSERT_TRUE(store.save(sk, ck, res));
+    EXPECT_EQ(store.stats().writes, 1u);
+    const auto hit = store.load(sk, ck);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(store.stats().hits, 1u);
+    expectRunIdentical(res.runs[0], hit->runs[0]);
+
+    // Doctor the on-disk entry with a foreign fingerprint: the next
+    // load must count it stale, delete the file, and report a miss.
+    const fs::path entry =
+        dir / ResultStore::entryFileName(buildFingerprint(), sk, ck);
+    ASSERT_TRUE(fs::exists(entry));
+    {
+        std::ofstream f(entry);
+        serializeSuiteResult(f, "stale-build-fingerprint", sk, ck, res);
+    }
+    EXPECT_FALSE(store.load(sk, ck));
+    EXPECT_EQ(store.stats().stale, 1u);
+    EXPECT_EQ(store.stats().misses, 2u);
+    EXPECT_FALSE(fs::exists(entry)) << "stale entry not removed";
+}
+
+TEST(ResultStore, DistinctKeysGetDistinctEntryFiles)
+{
+    const std::string fp = buildFingerprint();
+    const std::string f1 = ResultStore::entryFileName(fp, "s1", "c1");
+    EXPECT_NE(f1, ResultStore::entryFileName(fp, "s1", "c2"));
+    EXPECT_NE(f1, ResultStore::entryFileName(fp, "s2", "c1"));
+    EXPECT_NE(f1, ResultStore::entryFileName("other", "s1", "c1"));
+    // Stable across calls (cross-process addressing depends on it).
+    EXPECT_EQ(f1, ResultStore::entryFileName(fp, "s1", "c1"));
+}
+
+// The headline contract: a warm-store sweep in a "fresh process"
+// (modeled by a fresh SuiteCache) performs zero simulations and emits
+// a CSV byte-identical to the cold pass that populated the store.
+TEST(ResultStore, ColdThenWarmSweepIsByteIdenticalWithZeroSims)
+{
+    const fs::path dir = freshDir("lbp-store-sweep");
+    const std::vector<Program> suite = smallSuite(3);
+    const std::vector<SweepConfig> configs = {
+        {"forward-walk", schemeConfig(RepairKind::ForwardWalk)},
+        {"snapshot", schemeConfig(RepairKind::Snapshot)},
+    };
+    const std::size_t cells = configs.size() * suite.size();
+    ResultStore store(dir.string());
+
+    SuiteCache coldCache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.store = &store;
+    opts.cache = &coldCache;
+    const SweepResult cold = runSweep(suite, configs, opts);
+    EXPECT_EQ(cold.stats.cellsTotal, cells);
+    EXPECT_EQ(cold.stats.cellsSimulated, cells);
+    EXPECT_EQ(cold.stats.cellsStoreHit, 0u);
+    EXPECT_EQ(cold.stats.storeWrites, configs.size());
+    EXPECT_EQ(cold.stats.storeMisses, configs.size());
+
+    SuiteCache warmCache;
+    opts.cache = &warmCache;
+    const SweepResult warm = runSweep(suite, configs, opts);
+    EXPECT_EQ(warm.stats.cellsSimulated, 0u) << "warm pass simulated";
+    EXPECT_EQ(warm.stats.cellsStoreHit, cells);
+    EXPECT_EQ(warm.stats.storeHits, configs.size());
+    EXPECT_EQ(warm.stats.storeWrites, 0u);
+    EXPECT_EQ(warm.stats.simInstrs, 0u);
+
+    std::ostringstream coldCsv, warmCsv;
+    writeSweepCsv(coldCsv, cold, configs);
+    writeSweepCsv(warmCsv, warm, configs);
+    EXPECT_FALSE(coldCsv.str().empty());
+    EXPECT_EQ(coldCsv.str(), warmCsv.str())
+        << "store round trip is not byte-exact";
+
+    // Third pass in the same "process": served by the cache, store
+    // untouched.
+    const ResultStore::StoreStats before = store.stats();
+    const SweepResult cached = runSweep(suite, configs, opts);
+    EXPECT_EQ(cached.stats.cellsCacheHit, cells);
+    EXPECT_EQ(store.stats().hits, before.hits);
+    EXPECT_EQ(store.stats().misses, before.misses);
+}

@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Sweep orchestration observability (src/sim/sweep): JSON-lines event
+ * log well-formedness and wall-time reconciliation, pinned progress/ETA
+ * line content, manifest schema and provenance, the sweep-counter
+ * table, and Figure-8 port-analysis reconciliation against the raw
+ * forensics records.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "obs/port_analysis.hh"
+#include "sim/result_store.hh"
+#include "sim/suite_cache.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+
+namespace {
+
+SimConfig
+schemeConfig(RepairKind kind)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = 5000;
+    cfg.measureInstrs = 8000;
+    cfg.useLocal = true;
+    cfg.repair.kind = kind;
+    return cfg;
+}
+
+std::vector<Program>
+smallSuite(unsigned n)
+{
+    SuiteOptions opts;
+    opts.maxWorkloads = n;
+    return buildSuite(opts);
+}
+
+std::vector<SweepConfig>
+twoConfigs()
+{
+    return {{"forward-walk", schemeConfig(RepairKind::ForwardWalk)},
+            {"snapshot", schemeConfig(RepairKind::Snapshot)}};
+}
+
+/**
+ * Minimal recursive-descent validator for one JSON value — enough to
+ * prove the event log and manifest are real JSON, not curly-brace
+ * lookalikes. Accepts objects/arrays/strings/numbers/literals.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            ++pos_;
+    }
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return false;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\')
+                ++pos_;
+            ++pos_;
+        }
+        return pos_ < s_.size() && s_[pos_++] == '"';
+    }
+
+    bool
+    number()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek())) ||
+               peek() == '.' || peek() == 'e' || peek() == 'E' ||
+               peek() == '+' || peek() == '-')
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        skipWs();
+        const std::size_t len = std::string(word).size();
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': {
+            consume('{');
+            skipWs();
+            if (peek() == '}')
+                return consume('}');
+            do {
+                if (!string() || !consume(':') || !value())
+                    return false;
+                skipWs();
+            } while (consume(','));
+            return consume('}');
+          }
+          case '[': {
+            consume('[');
+            skipWs();
+            if (peek() == ']')
+                return consume(']');
+            do {
+                if (!value())
+                    return false;
+                skipWs();
+            } while (consume(','));
+            return consume(']');
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+/** Value of the first `"key":<number>` occurrence; fails the test if
+ *  the key is absent. */
+double
+numberField(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos) {
+        ADD_FAILURE() << "missing JSON field " << key;
+        return -1.0;
+    }
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+/**
+ * Value of the named counter in a MetricsRegistry JSON dump, where
+ * scalars are `{"name": "<name>", ..., "value": <v>}` objects.
+ */
+double
+counterValue(const std::string &text, const std::string &name)
+{
+    const std::string needle = "{\"name\": \"" + name + "\"";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos) {
+        ADD_FAILURE() << "missing counter " << name;
+        return -1.0;
+    }
+    const std::string value = "\"value\": ";
+    const std::size_t vpos = text.find(value, pos);
+    if (vpos == std::string::npos) {
+        ADD_FAILURE() << "counter " << name << " has no value";
+        return -1.0;
+    }
+    return std::strtod(text.c_str() + vpos + value.size(), nullptr);
+}
+
+} // namespace
+
+TEST(Sweep, EventLogIsValidJsonLinesAndWallTimesReconcile)
+{
+    const std::vector<Program> suite = smallSuite(2);
+    const std::vector<SweepConfig> configs = twoConfigs();
+
+    std::ostringstream events;
+    SuiteCache cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.cache = &cache;
+    opts.eventLog = &events;
+    const SweepResult res = runSweep(suite, configs, opts);
+
+    std::istringstream lines(events.str());
+    std::string line;
+    std::vector<std::string> kinds;
+    double cellWallSum = 0.0;
+    double endCellWall = -1.0;
+    while (std::getline(lines, line)) {
+        ASSERT_TRUE(JsonChecker(line).valid())
+            << "event line is not valid JSON: " << line;
+        if (line.find("\"event\":\"cell\"") != std::string::npos) {
+            kinds.push_back("cell");
+            cellWallSum += numberField(line, "wall_s");
+        } else if (line.find("\"event\":\"config\"") !=
+                   std::string::npos) {
+            kinds.push_back("config");
+        } else if (line.find("\"event\":\"sweep_start\"") !=
+                   std::string::npos) {
+            kinds.push_back("start");
+        } else if (line.find("\"event\":\"sweep_end\"") !=
+                   std::string::npos) {
+            kinds.push_back("end");
+            endCellWall = numberField(line, "cell_wall_s");
+        } else {
+            FAIL() << "unknown event line: " << line;
+        }
+    }
+
+    // One line per cell and per config, framed by start/end.
+    const std::size_t cells = configs.size() * suite.size();
+    ASSERT_FALSE(kinds.empty());
+    EXPECT_EQ(kinds.front(), "start");
+    EXPECT_EQ(kinds.back(), "end");
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(kinds.begin(), kinds.end(), "cell")),
+              cells);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(kinds.begin(), kinds.end(), "config")),
+              configs.size());
+
+    // Per-cell wall times reconcile with the aggregate counter, both
+    // as logged (%.17g round-trips doubles) and as recorded.
+    EXPECT_NEAR(cellWallSum, res.stats.cellWallSeconds, 1e-9);
+    EXPECT_NEAR(endCellWall, res.stats.cellWallSeconds, 1e-9);
+    double recorded = 0.0;
+    for (const SweepCell &cell : res.cells)
+        recorded += cell.wallSeconds;
+    EXPECT_DOUBLE_EQ(recorded, res.stats.cellWallSeconds);
+    EXPECT_LE(res.stats.cellWallSeconds,
+              res.stats.wallSeconds * static_cast<double>(res.jobs) +
+                  1e-6);
+}
+
+TEST(Sweep, ProgressLineContentIsPinned)
+{
+    // No throughput yet: percentage but no rate/ETA estimate.
+    EXPECT_EQ(renderSweepProgress(0, 10, 0.0),
+              "[sweep] 0/10 cells (0.0%) ETA --");
+    EXPECT_EQ(renderSweepProgress(0, 10, 1.5),
+              "[sweep] 0/10 cells (0.0%) ETA --");
+    // Mid-sweep: 5 cells in 2s -> 2.5 cells/s, 5 remaining -> 2s.
+    EXPECT_EQ(renderSweepProgress(5, 10, 2.0),
+              "[sweep] 5/10 cells (50.0%) 2.5 cells/s ETA 2s");
+    // Done: ETA reaches zero.
+    EXPECT_EQ(renderSweepProgress(10, 10, 4.0),
+              "[sweep] 10/10 cells (100.0%) 2.5 cells/s ETA 0s");
+}
+
+TEST(Sweep, ProgressSinkReceivesLiveLine)
+{
+    const std::vector<Program> suite = smallSuite(1);
+    const std::vector<SweepConfig> configs = twoConfigs();
+
+    std::FILE *sink = std::tmpfile();
+    ASSERT_NE(sink, nullptr);
+    SuiteCache cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.cache = &cache;
+    opts.progress = sink;
+    const SweepResult res = runSweep(suite, configs, opts);
+
+    std::rewind(sink);
+    std::string text;
+    char buf[256];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), sink)) > 0)
+        text.append(buf, got);
+    std::fclose(sink);
+
+    const std::string done = std::to_string(res.stats.cellsTotal);
+    EXPECT_NE(text.find("[sweep] "), std::string::npos);
+    EXPECT_NE(text.find(done + "/" + done + " cells (100.0%)"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find('\r'), std::string::npos)
+        << "progress line must redraw in place";
+}
+
+TEST(Sweep, ManifestParsesAndCarriesProvenance)
+{
+    const std::vector<Program> suite = smallSuite(2);
+    const std::vector<SweepConfig> configs = twoConfigs();
+
+    SuiteCache cache;
+    SweepOptions opts;
+    opts.jobs = 1;
+    opts.cache = &cache;
+    const SweepResult res = runSweep(suite, configs, opts);
+
+    std::ostringstream os;
+    writeSweepManifest(os, res, configs);
+    const std::string text = os.str();
+
+    ASSERT_TRUE(JsonChecker(text).valid())
+        << "manifest is not valid JSON";
+    EXPECT_NE(text.find("\"schema\": \"lbp-sweep-manifest-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"git_sha\": "), std::string::npos);
+    EXPECT_NE(text.find("\"fingerprint\": "), std::string::npos);
+    EXPECT_NE(text.find(gitShaString()), std::string::npos);
+
+    // Every sweep counter the metrics table names must be present, and
+    // the cell wall-time total must reconcile with the cells recorded.
+    for (const SweepMetricDesc &d : sweepMetrics()) {
+        std::string quoted("\"");
+        quoted += d.name;
+        quoted += '"';
+        EXPECT_NE(text.find(quoted), std::string::npos)
+            << "manifest counters missing " << d.name;
+    }
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  counterValue(text, "sweep_cells_total")),
+              res.stats.cellsTotal);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  counterValue(text, "sweep_cells_simulated")),
+              res.stats.cellsSimulated);
+    double cellSum = 0.0;
+    for (const SweepCell &cell : res.cells)
+        cellSum += cell.wallSeconds;
+    // Gauges render with 6 significant digits; compare accordingly.
+    EXPECT_NEAR(counterValue(text, "sweep_cell_wall_s"), cellSum,
+                1e-5 * std::max(1.0, cellSum));
+
+    // Per-config provenance: names and every workload appear.
+    for (const SweepConfig &c : configs)
+        EXPECT_NE(text.find("\"name\": \"" + c.name + "\""),
+                  std::string::npos);
+    for (const Program &p : suite)
+        EXPECT_NE(text.find("\"workload\": \"" + p.name + "\""),
+                  std::string::npos);
+}
+
+TEST(Sweep, MetricTableNamesUniqueAndBound)
+{
+    const auto &table = sweepMetrics();
+    ASSERT_GE(table.size(), 12u);
+
+    std::map<std::string, int> names;
+    for (const SweepMetricDesc &d : table)
+        ++names[d.name];
+    for (const auto &[name, count] : names)
+        EXPECT_EQ(count, 1) << "duplicate sweep metric " << name;
+
+    SweepStats s;
+    s.cellsTotal = 7;
+    s.cellsSimulated = 4;
+    s.cellsStoreHit = 2;
+    s.cellsCacheHit = 1;
+    s.storeHits = 2;
+    s.storeMisses = 5;
+    s.storeStale = 1;
+    s.storeWrites = 4;
+    s.simInstrs = 2'000'000;
+    s.wallSeconds = 4.0;
+    s.cellWallSeconds = 3.5;
+
+    MetricsRegistry reg;
+    registerSweepMetrics(reg, s);
+    ASSERT_EQ(reg.scalars().size(), table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        EXPECT_EQ(reg.scalars()[i].name, table[i].name);
+        EXPECT_EQ(reg.scalars()[i].value, table[i].get(s));
+    }
+
+    const auto value = [&](const char *name) {
+        for (const SweepMetricDesc &d : table)
+            if (std::string(name) == d.name)
+                return d.get(s);
+        ADD_FAILURE() << "missing sweep metric " << name;
+        return -1.0;
+    };
+    EXPECT_EQ(value("sweep_cells_total"), 7.0);
+    EXPECT_EQ(value("sweep_cells_simulated"), 4.0);
+    EXPECT_EQ(value("store_stale"), 1.0);
+    EXPECT_EQ(value("sweep_wall_s"), 4.0);
+    // Derived gauge: simulated Minstr over sweep wall time.
+    EXPECT_DOUBLE_EQ(value("sweep_minstr_per_s"), 0.5);
+}
+
+// Figure-8 port analysis must reconcile exactly against the raw
+// forensics records: every row aggregates every squash, single-cycle
+// counts match a direct recount, and more ports never hurt.
+TEST(Sweep, PortAnalysisReconcilesWithForensicsRecords)
+{
+    const std::vector<Program> suite = smallSuite(3);
+    SimConfig cfg = schemeConfig(RepairKind::ForwardWalk);
+    cfg.obs.forensics = true;
+
+    const SuiteResult res = runSuite(suite, cfg, 1);
+    std::vector<const ObsRun *> obs;
+    std::uint64_t records = 0;
+    for (const RunResult &r : res.runs) {
+        ASSERT_TRUE(r.obs) << r.workload;
+        obs.push_back(r.obs.get());
+        records += r.obs->squashes.size();
+    }
+    ASSERT_GT(records, 0u);
+
+    const std::vector<unsigned> ports = {1, 2, 4, 8};
+    const auto rows = portAnalysis(obs, ports);
+    ASSERT_EQ(rows.size(), ports.size());
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        SCOPED_TRACE("ports=" + std::to_string(ports[i]));
+        EXPECT_EQ(rows[i].ports, ports[i]);
+        EXPECT_EQ(rows[i].squashes, records)
+            << "row does not aggregate every forensics record";
+
+        // Direct recount against the raw records.
+        std::uint64_t walkFit = 0, writeFit = 0, maxWalk = 0;
+        double drainSum = 0.0;
+        for (const ObsRun *o : obs) {
+            for (const SquashRecord &sq : o->squashes) {
+                walkFit += sq.walkLength <= ports[i];
+                writeFit += sq.repairWrites <= ports[i];
+                const std::uint64_t drain =
+                    (sq.walkLength + ports[i] - 1) / ports[i];
+                drainSum += static_cast<double>(drain);
+                maxWalk = std::max(maxWalk, drain);
+            }
+        }
+        EXPECT_EQ(rows[i].walkSingleCycle, walkFit);
+        EXPECT_EQ(rows[i].writeSingleCycle, writeFit);
+        EXPECT_EQ(rows[i].maxWalkDrainCycles, maxWalk);
+        EXPECT_DOUBLE_EQ(rows[i].avgWalkDrainCycles,
+                         drainSum / static_cast<double>(records));
+        EXPECT_NEAR(rows[i].walkSingleCyclePct,
+                    100.0 * static_cast<double>(walkFit) /
+                        static_cast<double>(records),
+                    1e-9);
+    }
+
+    // Monotone in ports: more ports never drain slower.
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GE(rows[i].walkSingleCycle, rows[i - 1].walkSingleCycle);
+        EXPECT_GE(rows[i].writeSingleCycle,
+                  rows[i - 1].writeSingleCycle);
+        EXPECT_LE(rows[i].avgWalkDrainCycles,
+                  rows[i - 1].avgWalkDrainCycles);
+        EXPECT_LE(rows[i].maxWalkDrainCycles,
+                  rows[i - 1].maxWalkDrainCycles);
+    }
+
+    // CSV: header plus one row per port count.
+    std::ostringstream csv;
+    writePortAnalysisCsv(csv, rows);
+    const std::string text = csv.str();
+    EXPECT_EQ(text.rfind("ports,squashes,", 0), 0u);
+    std::size_t lines = 0;
+    for (const char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, rows.size() + 1);
+    EXPECT_NE(formatPortAnalysis(rows).find("ports"),
+              std::string::npos);
+}

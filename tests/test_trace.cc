@@ -519,3 +519,80 @@ TEST(Trace, RunMetricTableMatchesRunResult)
     EXPECT_EQ(js.find('{'), 0u);
     EXPECT_NE(js.find("\"scalars\""), std::string::npos);
 }
+
+// Windowed forensics striding: recording every Nth squash must keep
+// exactly ceil(totalMispredicts / N) records (the first squash is
+// always recorded), reconcile against the recorded sampling factor,
+// sample histograms only from recorded squashes — and, like all
+// observability, leave the architectural counters untouched.
+TEST(Trace, ForensicsStrideReconcilesAndStaysBitIdentical)
+{
+    const std::vector<Program> suite = smallSuite(2);
+    SimConfig cfg = schemeConfig(RepairKind::ForwardWalk);
+    cfg.obs.forensics = true;
+
+    for (const Program &prog : suite) {
+        const RunResult full = runOne(prog, cfg);
+        ASSERT_TRUE(full.obs);
+        const std::uint64_t mispredicts = full.obs->totalMispredicts;
+        ASSERT_GT(mispredicts, 0u) << prog.name;
+        EXPECT_EQ(full.obs->forensicsStride, 1u);
+        EXPECT_EQ(full.obs->squashes.size(), mispredicts);
+
+        for (const std::uint64_t stride : {2ull, 7ull, 1000000ull}) {
+            SCOPED_TRACE(prog.name + " stride " +
+                         std::to_string(stride));
+            SimConfig strided = cfg;
+            strided.obs.forensicsStride = stride;
+            const RunResult r = runOne(prog, strided);
+            ASSERT_TRUE(r.obs);
+            const ObsRun &o = *r.obs;
+
+            // Reconciliation against the recorded sampling factor.
+            EXPECT_EQ(o.forensicsStride, stride);
+            EXPECT_EQ(o.totalMispredicts, mispredicts);
+            EXPECT_EQ(o.squashes.size(),
+                      (mispredicts + stride - 1) / stride);
+
+            // Every recorded squash is a verbatim member of the full
+            // record stream, at stride spacing from its start.
+            for (std::size_t i = 0; i < o.squashes.size(); ++i) {
+                const SquashRecord &got = o.squashes[i];
+                const SquashRecord &want =
+                    full.obs->squashes[i * stride];
+                EXPECT_EQ(got.cycle, want.cycle);
+                EXPECT_EQ(got.pc, want.pc);
+                EXPECT_EQ(got.walkLength, want.walkLength);
+                EXPECT_EQ(got.repairWrites, want.repairWrites);
+            }
+
+            // Histograms sample only recorded squashes.
+            EXPECT_EQ(o.resolveLatency.count(), o.squashes.size());
+            EXPECT_EQ(o.robOccupancy.count(), o.squashes.size());
+
+            // Observation-only: simulation outcome is unchanged.
+            EXPECT_EQ(r.stats.cycles, full.stats.cycles);
+            EXPECT_EQ(r.stats.mispredicts, full.stats.mispredicts);
+            EXPECT_EQ(r.ipc, full.ipc);
+            EXPECT_EQ(r.repairWrites, full.repairWrites);
+        }
+    }
+}
+
+// Konata multi-run naming: the workload tag lands before the
+// extension, path separators survive, and hostile characters are
+// sanitized to '_'.
+TEST(Trace, KonataRunPathInsertsWorkloadTag)
+{
+    EXPECT_EQ(konataRunPath("trace.kanata", "Server:0"),
+              "trace.Server_0.kanata");
+    EXPECT_EQ(konataRunPath("out/pipe.kanata", "Client:12"),
+              "out/pipe.Client_12.kanata");
+    // No extension: the tag is appended.
+    EXPECT_EQ(konataRunPath("trace", "Mix:3"), "trace.Mix_3");
+    // A dot in a parent directory is not an extension.
+    EXPECT_EQ(konataRunPath("run.d/trace", "A"), "run.d/trace.A");
+    // Already-safe characters pass through untouched.
+    EXPECT_EQ(konataRunPath("t.kanata", "plain_Name-7"),
+              "t.plain_Name-7.kanata");
+}

@@ -59,6 +59,7 @@ struct Options
     std::string traceKonata;      ///< Konata pipeline log path
     std::uint64_t traceWindow = 20000;  ///< trace window, cycles
     std::string forensicsCsv;     ///< per-squash forensics CSV path
+    std::uint64_t forensicsStride = 1;  ///< record every Nth squash
     std::string metricsJson;      ///< metrics-registry JSON path
     unsigned topOffenders = 0;    ///< print top-N mispredicting PCs
 };
@@ -68,8 +69,8 @@ enum class Opt
 {
     Help, List, Workload, Suite, Scheme, Ports, Coalesce, LimitedM,
     Loop, Tage, Warmup, Instr, Csv, Jobs, ThroughputJson,
-    TraceOut, TraceKonata, TraceWindow, ForensicsCsv, MetricsJson,
-    TopOffenders,
+    TraceOut, TraceKonata, TraceWindow, ForensicsCsv, ForensicsStride,
+    MetricsJson, TopOffenders,
 };
 
 /**
@@ -130,6 +131,9 @@ constexpr OptSpec kOptions[] = {
     {Opt::ForensicsCsv, "--forensics-csv", nullptr, "<path>",
      "write one CSV row per misprediction squash\n"
      "(PC, predictor component, pollution, repair)"},
+    {Opt::ForensicsStride, "--forensics-stride", nullptr, "<N>",
+     "record every Nth squash (default 1 = all);\n"
+     "bounds forensics memory on long runs"},
     {Opt::MetricsJson, "--metrics-json", nullptr, "<path>",
      "write the metrics registry (counters +\n"
      "histograms) as JSON, per run"},
@@ -285,6 +289,9 @@ parseOptions(int argc, char **argv, Options &opt)
           case Opt::ForensicsCsv:
             opt.forensicsCsv = v;
             break;
+          case Opt::ForensicsStride:
+            opt.forensicsStride = std::strtoull(v, nullptr, 10);
+            break;
           case Opt::MetricsJson:
             opt.metricsJson = v;
             break;
@@ -337,6 +344,7 @@ makeConfig(const Options &opt)
                         !opt.metricsJson.empty() ||
                         opt.topOffenders > 0;
     cfg.obs.traceWindowCycles = opt.traceWindow;
+    cfg.obs.forensicsStride = opt.forensicsStride;
     return cfg;
 }
 
@@ -421,13 +429,27 @@ writeObsOutputs(const Options &opt, const std::vector<RunResult> &runs)
                     obs.size(), opt.traceOut.c_str());
     }
     if (!opt.traceKonata.empty()) {
-        std::ofstream out = openOrDie(opt.traceKonata);
-        writeKonata(out, *obs.front());
-        if (obs.size() > 1)
-            std::printf("note: Konata log covers the first run only "
-                        "(%s)\n", obs.front()->workload.c_str());
-        std::printf("wrote Konata log to %s\n",
-                    opt.traceKonata.c_str());
+        if (obs.size() == 1) {
+            std::ofstream out = openOrDie(opt.traceKonata);
+            writeKonata(out, *obs.front());
+            std::printf("wrote Konata log to %s\n",
+                        opt.traceKonata.c_str());
+        } else {
+            // One file per run, workload tag inserted before the
+            // extension (konataRunPath; naming in docs/TRACING.md).
+            for (const ObsRun *o : obs) {
+                const std::string path =
+                    konataRunPath(opt.traceKonata, o->workload);
+                std::ofstream out = openOrDie(path);
+                writeKonata(out, *o);
+            }
+            std::printf("wrote %zu Konata logs (one per workload, "
+                        "first: %s)\n",
+                        obs.size(),
+                        konataRunPath(opt.traceKonata,
+                                      obs.front()->workload)
+                            .c_str());
+        }
     }
     if (!opt.forensicsCsv.empty()) {
         std::ofstream out = openOrDie(opt.forensicsCsv);

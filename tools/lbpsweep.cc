@@ -1,0 +1,469 @@
+/**
+ * @file
+ * lbpsweep — figure-sweep driver over the sweep orchestrator.
+ *
+ * Runs a set of configurations (the full figure set by default, or a
+ * declarative spec file) over one suite as a concurrent cell queue
+ * with the persistent result store, the JSON-lines event log, a live
+ * progress/ETA line, and a final manifest + results CSV. Also hosts
+ * the Figure-8 port-sensitivity analysis over squash forensics. Spec
+ * format, store layout and manifest schema: docs/SWEEP.md.
+ *
+ *   lbpsweep --suite 8 --store .result-store --manifest manifest.json
+ *   lbpsweep --spec sweep.spec --csv results.csv --event-log sweep.jsonl
+ *   lbpsweep --suite 8 --port-analysis ports.csv
+ *
+ * Exit codes: 0 ok, 1 bad usage or unwritable output.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/telemetry.hh"
+#include "common/thread_pool.hh"
+#include "obs/port_analysis.hh"
+#include "sim/result_store.hh"
+#include "sim/runner.hh"
+#include "sim/suite_cache.hh"
+#include "sim/sweep.hh"
+#include "workload/suite.hh"
+
+using namespace lbp;
+
+namespace {
+
+struct Options
+{
+    std::string specPath;
+    unsigned suite = 8;       ///< workload cap (0 via --suite all)
+    bool fullSuite = false;
+    std::uint64_t warmup = 40000;
+    std::uint64_t instrs = 60000;
+    unsigned jobs = 0;
+    std::string storeDir;     ///< persistent store (REPRO_RESULT_STORE)
+    std::string eventLogPath;
+    std::string manifestPath;
+    std::string csvPath;
+    std::string portAnalysisPath;
+    bool quiet = false;       ///< suppress the live progress line
+};
+
+struct OptSpec
+{
+    const char *flag;
+    const char *metavar;  ///< nullptr = boolean
+    const char *help;
+};
+
+constexpr OptSpec kOptions[] = {
+    {"--help", nullptr, "print this help and exit"},
+    {"--spec", "<path>", "declarative sweep spec (docs/SWEEP.md); "
+     "default: the full 11-config figure set"},
+    {"--suite", "<N|all>", "workloads to sweep (default 8)"},
+    {"--warmup", "<N>", "warm-up instruction budget (default 40000)"},
+    {"--instr", "<N>", "measured instruction budget (default 60000)"},
+    {"--jobs", "<N>", "worker threads (default REPRO_JOBS, else "
+     "hardware concurrency)"},
+    {"--store", "<dir>", "persistent result store directory (default "
+     "$REPRO_RESULT_STORE; empty = no store)"},
+    {"--event-log", "<path>", "append JSON-lines cell/config events"},
+    {"--manifest", "<path>", "write the sweep manifest JSON"},
+    {"--csv", "<path>", "write per-run results CSV"},
+    {"--port-analysis", "<path>", "write the Figure-8 repair-port "
+     "sensitivity CSV (runs a forensics pass)"},
+    {"--quiet", nullptr, "suppress the live progress line"},
+};
+
+void
+usage()
+{
+    std::printf("lbpsweep — concurrent figure-sweep orchestrator\n\n");
+    for (const OptSpec &o : kOptions) {
+        char left[48];
+        std::snprintf(left, sizeof(left), "  %s%s%s", o.flag,
+                      o.metavar ? " " : "", o.metavar ? o.metavar : "");
+        std::printf("%-28s%s\n", left, o.help);
+    }
+}
+
+/** Scheme-name -> RepairKind mapping shared with the spec parser. */
+bool
+schemeKind(const std::string &s, RepairKind &kind)
+{
+    const struct
+    {
+        const char *name;
+        RepairKind k;
+    } names[] = {
+        {"perfect", RepairKind::Perfect},
+        {"no-repair", RepairKind::NoRepair},
+        {"retire-update", RepairKind::RetireUpdate},
+        {"backward-walk", RepairKind::BackwardWalk},
+        {"snapshot", RepairKind::Snapshot},
+        {"forward-walk", RepairKind::ForwardWalk},
+        {"limited-pc", RepairKind::LimitedPc},
+        {"multi-stage", RepairKind::MultiStage},
+        {"future-file", RepairKind::FutureFile},
+    };
+    for (const auto &n : names) {
+        if (s == n.name) {
+            kind = n.k;
+            return true;
+        }
+    }
+    return false;
+}
+
+[[noreturn]] void
+die(const std::string &msg)
+{
+    std::fprintf(stderr, "lbpsweep: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/**
+ * Parse one spec "config" line: scheme name followed by optional
+ * ports=M-N-P, loop=64|128|256, tage=7|9|57, limited-m=M, coalesce,
+ * name=<id> modifiers.
+ */
+SweepConfig
+parseConfigLine(std::istringstream &ls, const Options &opt)
+{
+    std::string scheme;
+    if (!(ls >> scheme))
+        die("spec: 'config' needs a scheme name");
+
+    SweepConfig sc;
+    sc.name = scheme;
+    sc.cfg.warmupInstrs = opt.warmup;
+    sc.cfg.measureInstrs = opt.instrs;
+    if (scheme != "baseline") {
+        RepairKind kind;
+        if (!schemeKind(scheme, kind))
+            die("spec: unknown scheme '" + scheme + "'");
+        sc.cfg.useLocal = true;
+        sc.cfg.repair.kind = kind;
+    }
+
+    std::string tok;
+    while (ls >> tok) {
+        if (tok == "coalesce") {
+            sc.cfg.repair.coalesce = true;
+            continue;
+        }
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos)
+            die("spec: bad config modifier '" + tok + "'");
+        const std::string k = tok.substr(0, eq);
+        const std::string v = tok.substr(eq + 1);
+        if (k == "name") {
+            sc.name = v;
+        } else if (k == "ports") {
+            unsigned m = 0, n = 0, p = 0;
+            if (std::sscanf(v.c_str(), "%u-%u-%u", &m, &n, &p) != 3)
+                die("spec: ports wants M-N-P");
+            sc.cfg.repair.ports = {m, n, p};
+        } else if (k == "loop") {
+            if (v == "64")
+                sc.cfg.repair.loop = LoopConfig::entries64();
+            else if (v == "128")
+                sc.cfg.repair.loop = LoopConfig::entries128();
+            else if (v == "256")
+                sc.cfg.repair.loop = LoopConfig::entries256();
+            else
+                die("spec: loop must be 64, 128 or 256");
+        } else if (k == "tage") {
+            if (v == "7")
+                sc.cfg.tage = TageConfig::kb7();
+            else if (v == "9")
+                sc.cfg.tage = TageConfig::kb9();
+            else if (v == "57")
+                sc.cfg.tage = TageConfig::kb57();
+            else
+                die("spec: tage must be 7, 9 or 57");
+        } else if (k == "limited-m") {
+            sc.cfg.repair.limitedM =
+                static_cast<unsigned>(std::atoi(v.c_str()));
+        } else {
+            die("spec: unknown config key '" + k + "'");
+        }
+    }
+    return sc;
+}
+
+/**
+ * Read a sweep spec: '#' comments, blank lines, and
+ * `suite N|all` / `warmup N` / `instr N` / `config <scheme> [mods]`
+ * directives. suite/warmup/instr override the command line; config
+ * lines replace the default figure set.
+ */
+std::vector<SweepConfig>
+parseSpec(const std::string &path, Options &opt)
+{
+    std::ifstream in(path);
+    if (!in)
+        die("cannot read spec " + path);
+    std::vector<SweepConfig> configs;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word))
+            continue;
+        if (word == "suite") {
+            std::string v;
+            ls >> v;
+            if (v == "all") {
+                opt.fullSuite = true;
+                opt.suite = 0;
+            } else {
+                opt.suite = static_cast<unsigned>(std::atoi(v.c_str()));
+            }
+        } else if (word == "warmup") {
+            ls >> opt.warmup;
+        } else if (word == "instr") {
+            ls >> opt.instrs;
+        } else if (word == "config") {
+            configs.push_back(parseConfigLine(ls, opt));
+        } else {
+            die("spec: unknown directive '" + word + "'");
+        }
+    }
+    return configs;
+}
+
+/** The default sweep: every figure configuration at CBPw-Loop128. */
+std::vector<SweepConfig>
+defaultConfigs(const Options &opt)
+{
+    const char *schemes[] = {
+        "baseline",      "perfect",      "no-repair",
+        "retire-update", "backward-walk", "snapshot",
+        "forward-walk",  "forward-walk+merge", "limited-pc",
+        "multi-stage",   "future-file",
+    };
+    std::vector<SweepConfig> configs;
+    for (const char *s : schemes) {
+        std::string scheme = s;
+        const bool merge = scheme == "forward-walk+merge";
+        std::istringstream mods(merge ? "forward-walk coalesce "
+                                        "name=forward-walk+merge"
+                                      : scheme);
+        configs.push_back(parseConfigLine(mods, opt));
+    }
+    return configs;
+}
+
+bool
+parseOptions(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const OptSpec *spec = nullptr;
+        for (const OptSpec &o : kOptions)
+            if (std::strcmp(argv[i], o.flag) == 0)
+                spec = &o;
+        if (!spec) {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            usage();
+            return false;
+        }
+        const char *v = nullptr;
+        if (spec->metavar) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                return false;
+            }
+            v = argv[++i];
+        }
+        const std::string flag = spec->flag;
+        if (flag == "--help") {
+            usage();
+            std::exit(0);
+        } else if (flag == "--spec") {
+            opt.specPath = v;
+        } else if (flag == "--suite") {
+            if (std::string(v) == "all") {
+                opt.fullSuite = true;
+                opt.suite = 0;
+            } else {
+                opt.suite = static_cast<unsigned>(std::atoi(v));
+            }
+        } else if (flag == "--warmup") {
+            opt.warmup = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--instr") {
+            opt.instrs = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::atoi(v));
+        } else if (flag == "--store") {
+            opt.storeDir = v;
+        } else if (flag == "--event-log") {
+            opt.eventLogPath = v;
+        } else if (flag == "--manifest") {
+            opt.manifestPath = v;
+        } else if (flag == "--csv") {
+            opt.csvPath = v;
+        } else if (flag == "--port-analysis") {
+            opt.portAnalysisPath = v;
+        } else if (flag == "--quiet") {
+            opt.quiet = true;
+        }
+    }
+    return true;
+}
+
+std::ofstream
+openOrDie(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        die("cannot write " + path);
+    return out;
+}
+
+/**
+ * The Figure-8 port-sensitivity pass: a forensics-enabled forward-walk
+ * run (the realistic repair scheme — its squash records carry the
+ * OBQ-walk and BHT-write work), aggregated over candidate port counts.
+ * Runs through runSuite directly: observability is excluded from cache
+ * keys, so cached results carry no forensics records.
+ */
+void
+runPortAnalysis(const std::vector<Program> &suite, const Options &opt)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = opt.warmup;
+    cfg.measureInstrs = opt.instrs;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::ForwardWalk;
+    cfg.obs.forensics = true;
+
+    std::printf("port analysis: forensics pass over %zu workloads "
+                "(forward-walk)...\n",
+                suite.size());
+    const SuiteResult res = runSuite(suite, cfg, opt.jobs);
+
+    std::vector<const ObsRun *> obs;
+    std::uint64_t records = 0;
+    for (const RunResult &r : res.runs) {
+        if (r.obs) {
+            obs.push_back(r.obs.get());
+            records += r.obs->squashes.size();
+        }
+    }
+    const std::vector<unsigned> portCounts = {1, 2, 4, 8};
+    const auto rows = portAnalysis(obs, portCounts);
+    std::ofstream out = openOrDie(opt.portAnalysisPath);
+    writePortAnalysisCsv(out, rows);
+    std::printf("%s", formatPortAnalysis(rows).c_str());
+    std::printf("port analysis: %llu squash records -> %s\n",
+                static_cast<unsigned long long>(records),
+                opt.portAnalysisPath.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (const char *env = std::getenv("REPRO_RESULT_STORE"))
+        opt.storeDir = env;
+    if (!parseOptions(argc, argv, opt))
+        return 1;
+
+    std::vector<SweepConfig> configs;
+    if (!opt.specPath.empty())
+        configs = parseSpec(opt.specPath, opt);
+    if (configs.empty())
+        configs = defaultConfigs(opt);
+
+    SuiteOptions sopts;
+    sopts.maxWorkloads = opt.fullSuite ? 0 : opt.suite;
+    const std::vector<Program> suite = buildSuite(sopts);
+
+    std::printf("sweeping %zu configs x %zu workloads (%llu warm-up + "
+                "%llu measured instrs each, jobs=%u)\n",
+                configs.size(), suite.size(),
+                static_cast<unsigned long long>(opt.warmup),
+                static_cast<unsigned long long>(opt.instrs),
+                resolveJobs(opt.jobs));
+
+    ResultStore store(opt.storeDir);
+    std::ofstream eventLog;
+    if (!opt.eventLogPath.empty()) {
+        eventLog.open(opt.eventLogPath, std::ios::app);
+        if (!eventLog)
+            die("cannot write " + opt.eventLogPath);
+    }
+
+    SweepOptions sweepOpts;
+    sweepOpts.jobs = opt.jobs;
+    sweepOpts.store = opt.storeDir.empty() ? nullptr : &store;
+    sweepOpts.eventLog = eventLog.is_open() ? &eventLog : nullptr;
+    sweepOpts.progress = opt.quiet ? nullptr : stderr;
+
+    const SweepResult res = runSweep(suite, configs, sweepOpts);
+
+    // Per-config summary table.
+    TextTable table({"config", "label", "outcome", "wall_s"});
+    const std::size_t nw = suite.size();
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        double wall = 0.0;
+        for (std::size_t w = 0; w < nw; ++w)
+            wall += res.cells[c * nw + w].wallSeconds;
+        const SweepCell::Outcome outcome = res.cells[c * nw].outcome;
+        const char *name =
+            outcome == SweepCell::Outcome::Simulated ? "simulated"
+            : outcome == SweepCell::Outcome::StoreHit ? "store hit"
+                                                      : "cache hit";
+        char wallBuf[32];
+        std::snprintf(wallBuf, sizeof(wallBuf), "%.2f", wall);
+        table.addRow({configs[c].name, configLabel(configs[c].cfg),
+                      name, wallBuf});
+    }
+    std::printf("%s", table.render().c_str());
+
+    const SweepStats &s = res.stats;
+    std::printf("cells: %llu total = %llu simulated + %llu store hits "
+                "+ %llu cache hits\n",
+                static_cast<unsigned long long>(s.cellsTotal),
+                static_cast<unsigned long long>(s.cellsSimulated),
+                static_cast<unsigned long long>(s.cellsStoreHit),
+                static_cast<unsigned long long>(s.cellsCacheHit));
+    if (sweepOpts.store)
+        std::printf("store: %llu hits, %llu misses (%llu stale), "
+                    "%llu writes -> %s\n",
+                    static_cast<unsigned long long>(s.storeHits),
+                    static_cast<unsigned long long>(s.storeMisses),
+                    static_cast<unsigned long long>(s.storeStale),
+                    static_cast<unsigned long long>(s.storeWrites),
+                    store.dir().c_str());
+    std::printf("wall %.2fs (%.2f Minstr/s)\n", s.wallSeconds,
+                s.wallSeconds > 0.0
+                    ? static_cast<double>(s.simInstrs) / 1e6 /
+                          s.wallSeconds
+                    : 0.0);
+
+    if (!opt.manifestPath.empty()) {
+        std::ofstream out = openOrDie(opt.manifestPath);
+        writeSweepManifest(out, res, configs);
+        std::printf("wrote manifest to %s\n", opt.manifestPath.c_str());
+    }
+    if (!opt.csvPath.empty()) {
+        std::ofstream out = openOrDie(opt.csvPath);
+        writeSweepCsv(out, res, configs);
+        std::printf("wrote results CSV to %s\n", opt.csvPath.c_str());
+    }
+    if (!opt.portAnalysisPath.empty())
+        runPortAnalysis(suite, opt);
+    return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef LBP_SIM_SWEEP_HH
+#define LBP_SIM_SWEEP_HH
+
+// Fixture for the obs-doc-comment rule's extension to the sweep
+// headers (paths ending in sim/sweep.hh / sim/result_store.hh). Seeds
+// exactly ONE undocumented namespace-scope type; the documented,
+// forward-declared and nested types below must all stay quiet.
+
+#include <cstdint>
+
+namespace lbp {
+
+/// Documented sweep cell: must not trigger.
+struct FixtureSweepCell {
+    std::uint64_t wall = 0;
+    /// Nested type inside a documented type: nested scope is exempt.
+    struct Inner {
+        int worker = -1;
+    };
+};
+
+// Forward declaration: no body to document here, must not trigger.
+struct FixtureSweepOptions;
+
+struct FixtureSweepResult { // seeded violation: missing doc comment
+    std::uint64_t cells = 0;
+};
+
+} // namespace lbp
+
+#endif // LBP_SIM_SWEEP_HH

@@ -15,7 +15,11 @@ absolute speed, so a hard Minstr/s floor would flap. The committed
 baseline records reference numbers from one machine plus a
 ``tolerance_fraction``; a measured label running more than that
 fraction below its baseline emits a GitHub ``::warning`` annotation
-(visible on the run summary) but never fails the job. The real signal
+(visible on the run summary) but never fails the job. An individual
+baseline entry may carry its own ``tolerance_fraction`` to override
+the file-level default (used for probes whose speed depends on runner
+characteristics beyond CPU clock, e.g. the memcpy-bound snapshot
+scheme). The real signal
 is the trajectory of the uploaded BENCH_throughput.json artifacts over
 time. The exit code is non-zero only for operational errors (missing
 or malformed files), never for slow measurements.
@@ -91,7 +95,8 @@ def main() -> int:
     warned = 0
     for label, base in expected.items():
         want = float(base["minstr_per_s"])
-        floor = want * (1.0 - tolerance)
+        tol = float(base.get("tolerance_fraction", tolerance))
+        floor = want * (1.0 - tol)
         got = measured.get(label)
         if got is None:
             print(
@@ -110,7 +115,7 @@ def main() -> int:
             print(
                 f"::warning::perf-smoke: '{label}' ran at "
                 f"{speed:.2f} Minstr/s, more than "
-                f"{tolerance:.0%} below the committed baseline "
+                f"{tol:.0%} below the committed baseline "
                 f"of {want:.2f} (warn-only; see "
                 f"bench/baseline_throughput.json)"
             )
