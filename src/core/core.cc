@@ -346,7 +346,8 @@ OooCore::doFlush(DynInst &br)
             const bool covered =
                 scheme_->stats().uncheckpointedMispredicts ==
                 pre_uncovered;
-            auditor_->onRecovery(br, scheme_->local(), covered);
+            auditor_->onRecovery(br, scheme_->local(), covered,
+                                 scheme_->lastRepairSet());
         }
 #endif
     }
@@ -428,6 +429,14 @@ OooCore::deferStage()
         deferQueue_.popFront();
         if (scheme_) {
             const auto out = scheme_->atAlloc(di, now_);
+#ifdef LBP_AUDIT
+            // Defer-side audit record: di.br.local now holds the
+            // checkpointed table's lookup. Branches squashed out of
+            // the defer queue before this point never touched
+            // BHT-Defer, so skipping them is exact, not a gap.
+            if (auditor_ && scheme_->auditsAtAlloc())
+                auditor_->onPredict(di);
+#endif
             if (out.resteer)
                 handleEarlyResteer(di, out.dir);
         }
@@ -708,7 +717,10 @@ OooCore::fetchStage()
                 final_dir =
                     scheme_->atPredict(di, tage_dir, now_).finalDir;
 #ifdef LBP_AUDIT
-                if (auditor_)
+                // MultiStage audits BHT-Defer, whose lookup happens at
+                // the defer stage; recording here would capture
+                // BHT-TAGE's (unaudited, disposable) state instead.
+                if (auditor_ && !scheme_->auditsAtAlloc())
                     auditor_->onPredict(di);
 #endif
             } else {

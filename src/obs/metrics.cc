@@ -208,6 +208,46 @@ runMetrics()
          [](const RunResult &r) {
              return u64Field(r.cachePrefetchFills);
          }},
+        {"core_early_resteers", "count",
+         "Alloc-stage resteer flushes charged by the core (the "
+         "pipeline-side view of early_resteers)",
+         true,
+         [](const RunResult &r) {
+             return u64Field(r.stats.earlyResteers);
+         }},
+        {"avg_repairs_needed", "entries",
+         "Mean distinct PCs polluted per misprediction (section 2.4 "
+         "working-set size)",
+         false, [](const RunResult &r) { return r.avgRepairsNeeded; }},
+        {"max_repairs_needed", "entries",
+         "Largest polluted-PC set any single misprediction produced",
+         false,
+         [](const RunResult &r) { return u64Field(r.maxRepairsNeeded); }},
+        {"avg_repair_writes", "writes",
+         "Mean BHT writes per repair episode (port-pressure proxy)",
+         false, [](const RunResult &r) { return r.avgRepairWrites; }},
+        {"avg_repair_cycles", "cycles",
+         "Mean cycles the BHT spent busy per repair episode",
+         false, [](const RunResult &r) { return r.avgRepairCycles; }},
+        {"audit_resyncs", "count",
+         "Golden chains re-anchored after a declared gap (LBP_AUDIT)",
+         true, [](const RunResult &r) { return u64Field(r.auditResyncs); }},
+        {"audit_skipped", "count",
+         "Auditor checks skipped inside declared gaps (LBP_AUDIT)",
+         true, [](const RunResult &r) { return u64Field(r.auditSkipped); }},
+        {"audit_uncovered", "count",
+         "Recoveries the auditor could not cover (uncheckpointed "
+         "mispredictions; LBP_AUDIT)",
+         true,
+         [](const RunResult &r) { return u64Field(r.auditUncovered); }},
+        {"tage_kb", "KB", "TAGE storage budget of this configuration",
+         false, [](const RunResult &r) { return r.tageKB; }},
+        {"local_kb", "KB",
+         "Local-predictor (BHT+PT) storage of this configuration",
+         false, [](const RunResult &r) { return r.localKB; }},
+        {"repair_kb", "KB",
+         "Repair-scheme metadata storage (OBQ, snapshots, payloads)",
+         false, [](const RunResult &r) { return r.repairKB; }},
     };
     return table;
 }

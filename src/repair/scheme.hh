@@ -190,6 +190,27 @@ class RepairScheme
 
     virtual const char *name() const;
 
+    /**
+     * PCs the scheme's most recent atMispredict() claimed to repair,
+     * or nullptr when the scheme repairs every polluted PC (the walks,
+     * snapshot, multi-stage). LimitedPc declares its M-entry payload
+     * here so the LBP_AUDIT checker can count pollution outside the
+     * set as a declared gap instead of asserting on it (section 3.3's
+     * divergence-by-design).
+     */
+    virtual const std::vector<Addr> *lastRepairSet() const
+    {
+        return nullptr;
+    }
+
+    /**
+     * True when the checkpointed local state is read and written at
+     * the alloc/defer stage rather than at fetch (MultiStage's
+     * BHT-Defer): the LBP_AUDIT record must then be taken after
+     * atAlloc(), when di.br.local holds the audited table's lookup.
+     */
+    virtual bool auditsAtAlloc() const { return false; }
+
     /** The managed local predictor (primary one for MultiStage). */
     LocalPredictor &local() { return *lp_; }
     const LocalPredictor &local() const { return *lp_; }

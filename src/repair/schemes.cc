@@ -364,6 +364,7 @@ LimitedPcScheme::LimitedPcScheme(std::unique_ptr<LocalPredictor> lp,
       payloadRing_(1u << payloadRingLog)
 {
     lbp_assert(cfg.limitedM >= 1 && cfg.limitedM <= maxM);
+    lastRepairSet_.reserve(maxM);
 }
 
 bool
@@ -442,6 +443,7 @@ void
 LimitedPcScheme::atMispredict(DynInst &di, Cycle now)
 {
     RepairScheme::atMispredict(di, now);
+    lastRepairSet_.clear();
     const Payload &p =
         payloadRing_[di.seq & (payloadRing_.size() - 1)];
     if (!di.br.checkpointed || p.seq != di.seq) {
@@ -455,6 +457,7 @@ LimitedPcScheme::atMispredict(DynInst &di, Cycle now)
             lp_->writeState(pc, lp_->advanceState(st, di.actualDir));
         else
             lp_->writeState(pc, st);
+        lastRepairSet_.push_back(pc);
     }
 
     if (cfg_.limitedInvalidate) {

@@ -191,6 +191,12 @@ class LimitedPcScheme : public RepairScheme
     double storageKB() const override;
     const char *name() const override { return "limited-pc"; }
 
+    /** The M PCs the last repair actually wrote (declared coverage). */
+    const std::vector<Addr> *lastRepairSet() const override
+    {
+        return &lastRepairSet_;
+    }
+
   protected:
     void checkpoint(DynInst &di, Cycle now) override;
     bool bhtUsable(Addr pc, Cycle now) const override;
@@ -211,6 +217,7 @@ class LimitedPcScheme : public RepairScheme
     std::vector<Payload> payloadRing_;
     std::vector<Addr> overrideLru_;   ///< recent correct overriders
     std::vector<Addr> recentUpdates_; ///< recent BHT-updated PCs
+    std::vector<Addr> lastRepairSet_; ///< PCs written by the last repair
     Cycle busyUntil_ = 0;
 };
 
@@ -288,6 +295,9 @@ class MultiStageScheme : public RepairScheme
     {
         return sharedPt_ ? "split-bht(shared-pt)" : "split-bht(split-pt)";
     }
+
+    /** BHT-Defer (the checkpointed table) is looked up at atAlloc(). */
+    bool auditsAtAlloc() const override { return true; }
 
     LocalPredictor &bhtTage() { return *bhtTage_; }
 

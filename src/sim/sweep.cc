@@ -231,6 +231,9 @@ runSweep(const std::vector<Program> &suite,
         cell.simInstrs = instrs;
         cell.worker = ThreadPool::currentIndex();
         ++out.stats.cellsSimulated;
+        // analyze:allow(parallel-float-accum): wall-clock telemetry —
+        // the summand is already nondeterministic, and the manifest
+        // never feeds this back into simulation state.
         out.stats.cellWallSeconds += secs;
         out.stats.simInstrs += instrs;
         ++done;

@@ -1,5 +1,6 @@
 #include "verify/auditor.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -15,20 +16,30 @@ SpecStateAuditor::SpecStateAuditor(const LocalPredictor &model,
 bool
 SpecStateAuditor::auditableKind(RepairKind kind)
 {
-    // Exact auditing needs the scheme's claimed contract to be "the
-    // speculative state of every polluted BHT entry is restored,
+    // Exact auditing needs the scheme's claimed contract to be "every
+    // polluted BHT entry the scheme declares covered is restored,
     // immediately and in full, from checkpoints of the live table".
-    // That covers both walks and the snapshot queue. PerfectRepair is
-    // excluded deliberately: it restores from an independently-managed
-    // oracle table whose (legitimate) eviction-history divergence from
-    // the live table makes exact comparison against live checkpoints
-    // ill-defined — it *is* the reference model the auditor replicates.
-    // The remaining schemes (no-repair, retire-update, limited-pc,
-    // future-file, multi-stage) do not claim this contract at all.
+    // That covers both walks and the snapshot queue outright. Two
+    // schemes with *declared* gaps are auditable through the gap
+    // model: LimitedPc publishes its M-PC repair set per recovery
+    // (lastRepairSet()), so pollution outside the set is counted as a
+    // designed divergence rather than asserted; MultiStage checkpoints
+    // only BHT-Defer, whose alloc-stage records (auditsAtAlloc()) make
+    // its forward walk exactly checkable — BHT-TAGE is disposable by
+    // design (invalidated during repair, refilled by copy) and stays
+    // outside the audited surface. PerfectRepair is excluded
+    // deliberately: it restores from an independently-managed oracle
+    // table whose (legitimate) eviction-history divergence from the
+    // live table makes exact comparison against live checkpoints
+    // ill-defined — it *is* the reference model the auditor
+    // replicates. The rest (no-repair, retire-update, future-file) do
+    // not claim a repair contract at all.
     switch (kind) {
       case RepairKind::BackwardWalk:
       case RepairKind::ForwardWalk:
       case RepairKind::Snapshot:
+      case RepairKind::LimitedPc:
+      case RepairKind::MultiStage:
         return true;
       default:
         return false;
@@ -80,7 +91,8 @@ SpecStateAuditor::onPredict(const DynInst &di)
 
 void
 SpecStateAuditor::onRecovery(const DynInst &cause,
-                             const LocalPredictor &live, bool covered)
+                             const LocalPredictor &live, bool covered,
+                             const std::vector<Addr> *repairSet)
 {
     // The wrong-path window: the mispredicting branch's own (wrong-
     // direction) update plus everything fetched after it.
@@ -117,6 +129,19 @@ SpecStateAuditor::onRecovery(const DynInst &cause,
             }
             if (!oldest)
                 continue;
+            if (repairSet && rec.pc != cause.pc &&
+                std::find(repairSet->begin(), repairSet->end(),
+                          rec.pc) == repairSet->end()) {
+                // Declared partial coverage (LimitedPc): the scheme
+                // repairs only its M chosen PCs and leaves the rest
+                // polluted by design (section 3.3). The divergence is
+                // expected — count it and desync the chain instead of
+                // asserting. The mispredicting PC never lands here:
+                // every covered recovery repairs at least its cause.
+                ++stats_.skipped;
+                desync(rec.pc, cause.seq);
+                continue;
+            }
             if (!rec.bhtHit || !rec.checkpointed) {
                 // Two declared gaps share this shape. A wrong-path BHT
                 // allocation: no checkpoint exists and the walks cannot

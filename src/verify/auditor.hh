@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "bpu/predictor.hh"
 #include "common/types.hh"
@@ -103,10 +104,15 @@ class SpecStateAuditor
      * Cross-check after a misprediction recovery. Call after the
      * scheme's atMispredict and atSquash, before the pipeline reuses
      * the BHT. @p covered is false when the scheme itself declared the
-     * recovery unrepairable (e.g. OBQ overflow).
+     * recovery unrepairable (e.g. OBQ overflow). @p repairSet, when
+     * non-null, is the scheme's declared coverage (LimitedPc's M-PC
+     * payload): polluted PCs outside it are a designed gap — counted
+     * as skipped and desynced, not asserted. The mispredicting PC
+     * itself is always checked; every scheme repairs at least that.
      */
     void onRecovery(const DynInst &cause, const LocalPredictor &live,
-                    bool covered);
+                    bool covered,
+                    const std::vector<Addr> *repairSet = nullptr);
 
     /** Cross-check and advance the golden chain at a conditional
      *  branch's retirement. Call before the scheme's atRetire. */

@@ -45,7 +45,14 @@ class AuditDriver
   public:
     explicit AuditDriver(const RepairConfig &cfg,
                          const AuditorConfig &acfg = {})
-        : scheme_(makeRepairScheme(cfg)),
+        : AuditDriver(makeRepairScheme(cfg), acfg)
+    {
+    }
+
+    /** Drive a hand-built (e.g. deliberately broken) scheme. */
+    explicit AuditDriver(std::unique_ptr<RepairScheme> scheme,
+                         const AuditorConfig &acfg = {})
+        : scheme_(std::move(scheme)),
           auditor_(scheme_->local(), acfg)
     {
     }
@@ -67,6 +74,10 @@ class AuditDriver
         di.wrongPath = wrong_path;
         di.actualDir = actual;
         scheme_->atPredict(di, tage_dir, now_);
+        // MultiStage reads/writes the audited table at the defer/alloc
+        // stage; record afterwards, as OooCore does under LBP_AUDIT.
+        if (scheme_->auditsAtAlloc())
+            scheme_->atAlloc(di, now_);
         auditor_.onPredict(di);
         if (!wrong_path)
             scheme_->atTruePathFetch(di);
@@ -82,7 +93,8 @@ class AuditDriver
         scheme_->atSquash(di.seq, di);
         auditor_.onRecovery(
             di, scheme_->local(),
-            scheme_->stats().uncheckpointedMispredicts == pre);
+            scheme_->stats().uncheckpointedMispredicts == pre,
+            scheme_->lastRepairSet());
     }
 
     void
@@ -112,10 +124,12 @@ TEST(Auditor, AuditableKinds)
     EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::BackwardWalk));
     EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::ForwardWalk));
     EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::Snapshot));
+    EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::LimitedPc));
+    EXPECT_TRUE(SpecStateAuditor::auditableKind(RepairKind::MultiStage));
     EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::Perfect));
     EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::NoRepair));
     EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::RetireUpdate));
-    EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::MultiStage));
+    EXPECT_FALSE(SpecStateAuditor::auditableKind(RepairKind::FutureFile));
 }
 
 TEST(Auditor, CleanRunIsSilentWithNonZeroChecks)
@@ -241,6 +255,179 @@ TEST(Auditor, ObqOverflowIsDeclaredNotFlagged)
     EXPECT_EQ(d.astats().violations(), 0u);
 }
 
+TEST(Auditor, LimitedPcCleanRecovery)
+{
+    RepairConfig cfg = walkConfig(RepairKind::LimitedPc);
+    cfg.limitedM = 8;
+    AuditDriver d(cfg);
+
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    // Both polluted PCs land inside the M=8 payload (the cause itself
+    // plus the recently-updated neighbour), so the repair is total and
+    // the auditor checks it exactly.
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.predict(pcA, true, true, /*wrong_path=*/true);
+    d.advanceTime(5);
+    d.mispredict(cause);
+
+    EXPECT_GT(d.astats().recoveryChecks, 0u);
+    EXPECT_EQ(d.astats().violations(), 0u);
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+    EXPECT_EQ(d.astats().violations(), 0u);
+}
+
+TEST(Auditor, LimitedPcOutOfSetIsCountedNotAsserted)
+{
+    // M=1: the payload holds only the mispredicting PC, so wrong-path
+    // pollution of pcB is *designed* divergence (section 3.3). The
+    // auditor must count it (skipped, chain desync) — never assert.
+    RepairConfig cfg = walkConfig(RepairKind::LimitedPc);
+    cfg.limitedM = 1;
+    AuditDriver d(cfg);
+
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.advanceTime(5);
+    const std::uint64_t skipped_before = d.astats().skipped;
+    d.mispredict(cause);
+
+    ASSERT_NE(d.scheme().lastRepairSet(), nullptr);
+    EXPECT_EQ(d.scheme().lastRepairSet()->size(), 1u);
+    EXPECT_GT(d.astats().skipped, skipped_before)
+        << "out-of-set pollution must be counted as a declared gap";
+    EXPECT_GT(d.astats().recoveryChecks, 0u)
+        << "the mispredicting PC itself is still checked";
+    EXPECT_EQ(d.astats().violations(), 0u);
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+    EXPECT_EQ(d.astats().violations(), 0u);
+}
+
+TEST(Auditor, MultiStageCleanRecovery)
+{
+    AuditDriver d(walkConfig(RepairKind::MultiStage));
+    ASSERT_TRUE(d.scheme().auditsAtAlloc());
+
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.predict(pcA, true, true, /*wrong_path=*/true);
+    d.advanceTime(5);
+    d.mispredict(cause);
+
+    EXPECT_GT(d.astats().recoveryChecks, 0u);
+    EXPECT_EQ(d.astats().violations(), 0u);
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+    EXPECT_EQ(d.astats().violations(), 0u);
+}
+
+namespace {
+
+/**
+ * Broken LimitedPc: runs the real repair, then corrupts the
+ * mispredicting PC's restored entry — the failure the auditor's
+ * always-checked cause PC exists to catch.
+ */
+class BrokenLimitedPcScheme : public LimitedPcScheme
+{
+  public:
+    using LimitedPcScheme::LimitedPcScheme;
+
+    void
+    atMispredict(DynInst &di, Cycle now) override
+    {
+        LimitedPcScheme::atMispredict(di, now);
+        lp_->writeState(di.pc, LoopState::make(999, true));
+    }
+
+    const char *name() const override { return "broken-limited-pc"; }
+};
+
+/** Broken MultiStage: same corruption, against BHT-Defer. */
+class BrokenMultiStageScheme : public MultiStageScheme
+{
+  public:
+    using MultiStageScheme::MultiStageScheme;
+
+    void
+    atMispredict(DynInst &di, Cycle now) override
+    {
+        MultiStageScheme::atMispredict(di, now);
+        lp_->writeState(di.pc, LoopState::make(999, true));
+    }
+
+    const char *name() const override { return "broken-multi-stage"; }
+};
+
+} // namespace
+
+TEST(Auditor, BrokenLimitedPcIsDetected)
+{
+    RepairConfig cfg = walkConfig(RepairKind::LimitedPc);
+    cfg.limitedM = 4;
+    AuditDriver d(std::make_unique<BrokenLimitedPcScheme>(
+        makeLocalPredictor(cfg), cfg));
+
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.advanceTime(5);
+    d.mispredict(cause);
+
+    EXPECT_GE(d.astats().recoveryViolations, 1u)
+        << "a limited-PC repair that corrupts its own cause must trip";
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+}
+
+TEST(Auditor, BrokenMultiStageIsDetected)
+{
+    RepairConfig cfg = walkConfig(RepairKind::MultiStage);
+    AuditDriver d(std::make_unique<BrokenMultiStageScheme>(
+        makeLocalPredictor(cfg), makeLocalPredictor(cfg),
+        /*shared_pt=*/true, cfg));
+
+    DynInst &warmA = d.predict(pcA, true, true);
+    DynInst &warmB = d.predict(pcB, true, true);
+    d.advanceTime(1);
+
+    DynInst &cause = d.predict(pcA, true, false);
+    d.predict(pcB, true, true, /*wrong_path=*/true);
+    d.advanceTime(5);
+    d.mispredict(cause);
+
+    EXPECT_GE(d.astats().recoveryViolations, 1u)
+        << "a defer-side repair that corrupts its cause must trip";
+
+    d.retire(warmA);
+    d.retire(warmB);
+    d.retire(cause);
+}
+
 #ifdef LBP_AUDIT
 
 namespace {
@@ -286,6 +473,36 @@ TEST(AuditorIntegration, RealPipelineRunsClean)
     const RunResult r = runOne(prog, cfg);
     EXPECT_GT(r.auditChecks, 0u)
         << "the auditor must actually check something";
+    EXPECT_EQ(r.auditViolations, 0u);
+}
+
+TEST(AuditorIntegration, LimitedPcPipelineRunsClean)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = 20000;
+    cfg.measureInstrs = 40000;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::LimitedPc;
+
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    const RunResult r = runOne(prog, cfg);
+    EXPECT_GT(r.auditChecks, 0u);
+    EXPECT_EQ(r.auditViolations, 0u);
+}
+
+TEST(AuditorIntegration, MultiStagePipelineRunsClean)
+{
+    SimConfig cfg;
+    cfg.warmupInstrs = 20000;
+    cfg.measureInstrs = 40000;
+    cfg.useLocal = true;
+    cfg.repair.kind = RepairKind::MultiStage;
+
+    const Program prog =
+        buildWorkload(categoryProfiles()[0], 0, SuiteOptions{}.seed);
+    const RunResult r = runOne(prog, cfg);
+    EXPECT_GT(r.auditChecks, 0u);
     EXPECT_EQ(r.auditViolations, 0u);
 }
 

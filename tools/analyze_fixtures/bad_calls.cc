@@ -1,0 +1,25 @@
+// Negative fixture for the re-hosted banned-call rules: raw assert,
+// libc rand, and a steady_clock read outside the Stopwatch class. The
+// Stopwatch method itself is scope-allowed.
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+
+struct Stopwatch {
+    long nowNs() const
+    {
+        // clean: the Stopwatch class is the sanctioned clock wrapper
+        return std::chrono::steady_clock::now()
+            .time_since_epoch()
+            .count();
+    }
+};
+
+int checkedRoll(int bound)
+{
+    assert(bound > 0);            // expect: no-raw-assert
+    int r = rand() % bound;       // expect: no-raw-random
+    auto t0 = std::chrono::steady_clock::now();  // expect: no-raw-time
+    (void)t0;
+    return r;
+}

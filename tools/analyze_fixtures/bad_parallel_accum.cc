@@ -1,0 +1,22 @@
+// Negative fixture: order-dependent float accumulation inside a
+// parallelFor worker. Worker-local floats and integer counters in the
+// same body must stay quiet.
+#include <cstddef>
+#include <vector>
+
+struct ThreadPool {
+    template <typename Fn> void parallelFor(std::size_t n, Fn &&fn);
+};
+
+double totalWeight(ThreadPool &pool, const std::vector<double> &w)
+{
+    double total = 0.0;
+    std::size_t touched = 0;
+    pool.parallelFor(w.size(), [&](std::size_t i) {
+        total += w[i];  // expect: parallel-float-accum
+        double scratch = w[i];
+        scratch += 1.0;  // clean: worker-local
+        touched += 1;    // clean: integral
+    });
+    return total + static_cast<double>(touched);
+}

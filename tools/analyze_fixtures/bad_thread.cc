@@ -1,0 +1,23 @@
+// Negative fixture for no-raw-thread: std::thread is legal inside the
+// ThreadPool class and the resolveJobs() helper, and nowhere else.
+#include <thread>
+
+struct ThreadPool {
+    void start()
+    {
+        worker_ = std::thread([] {});  // clean: inside ThreadPool
+    }
+    std::thread worker_;  // clean: inside ThreadPool
+};
+
+unsigned resolveJobs()
+{
+    // clean: resolveJobs() is the sanctioned concurrency probe
+    return std::thread::hardware_concurrency();
+}
+
+void rogueSpawn()
+{
+    std::thread t([] {});  // expect: no-raw-thread
+    t.join();
+}

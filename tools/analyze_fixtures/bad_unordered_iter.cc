@@ -1,0 +1,21 @@
+// Negative fixture: iterating an unordered_map (range-for and
+// .begin()) feeds output in unspecified order.
+#include <cstdio>
+#include <unordered_map>
+
+struct IterDump {
+    std::unordered_map<int, int> hits_;
+
+    void dump() const
+    {
+        for (const auto &kv : hits_) {  // expect: unordered-iteration
+            std::printf("%d %d\n", kv.first, kv.second);
+        }
+    }
+
+    int firstValue() const
+    {
+        auto it = hits_.begin();  // expect: unordered-iteration
+        return it == hits_.end() ? 0 : it->second;
+    }
+};

@@ -1,0 +1,28 @@
+// Clean fixture: per-slot writes inside the worker, serial reduction
+// after the barrier, ordered containers throughout.
+#include <cstddef>
+#include <map>
+#include <vector>
+
+struct WorkPool {
+    template <typename Fn> void parallelFor(std::size_t n, Fn &&fn);
+};
+
+double fillSlots(WorkPool &pool, std::size_t n)
+{
+    std::vector<double> out(n, 0.0);
+    auto fill = [&](std::size_t i) {
+        double local = static_cast<double>(i);
+        local += 0.5;    // clean: worker-local accumulator
+        out[i] = local;  // clean: per-slot write
+    };
+    pool.parallelFor(n, fill);
+
+    double sum = 0.0;
+    for (const auto &v : out) {  // clean: ordered container
+        sum += v;                // clean: serial assemble phase
+    }
+    std::map<int, double> keyed;
+    keyed[0] = sum;
+    return sum;
+}

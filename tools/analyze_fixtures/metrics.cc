@@ -1,0 +1,27 @@
+// Miniature runMetrics() table for the metric-row-coverage rule: a
+// duplicated row name and a stale row referencing a field RunResult
+// does not have (two findings anchored here), plus the double export
+// of 'dup' reported against runner.hh.
+#include "runner.hh"
+
+#include <vector>
+
+struct RunMetricDesc {
+    const char *name;
+    double (*get)(const RunResult &);
+};
+
+const std::vector<RunMetricDesc> &runMetrics()
+{
+    static const std::vector<RunMetricDesc> table = {
+        {"fix_ipc", [](const RunResult &r) { return r.ipc; }},
+        {"fix_cycles",
+         [](const RunResult &r) {
+             return static_cast<double>(r.stats.cycles);
+         }},
+        {"fix_dup", [](const RunResult &r) { return r.dup; }},
+        {"fix_dup", [](const RunResult &r) { return r.dup; }},
+        {"fix_ghost", [](const RunResult &r) { return r.ghost; }},
+    };
+    return table;
+}

@@ -1,0 +1,26 @@
+#ifndef LBP_COMMON_RING_QUEUE_HH
+#define LBP_COMMON_RING_QUEUE_HH
+
+/// Documented template container: the doc comment sits above the
+/// template introducer and must satisfy obs-doc-comment.
+template <typename T>
+class GoodRing {
+  public:
+    bool empty() const { return size_ == 0; }
+
+  private:
+    unsigned size_ = 0;
+    T slot_{};
+};
+
+template <typename T>
+class BadRing {  // seeded violation: template class with no doc
+  public:
+    bool occupied() const { return size_ != 0; }
+
+  private:
+    unsigned size_ = 0;
+    T slot_{};
+};
+
+#endif
