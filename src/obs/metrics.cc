@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "common/jsonl.hh"
+#include "serve/protocol.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 
@@ -43,16 +45,13 @@ MetricsRegistry::histogram(std::string name, std::string unit,
 
 namespace {
 
+/** Full RFC 8259 escaping from common/jsonl.hh — byte-identical to
+ *  the escaper this file used to own for every name/unit/help string
+ *  (none carry control characters). */
 void
 jsonString(std::ostream &os, const std::string &s)
 {
-    os << '"';
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            os << '\\';
-        os << c;
-    }
-    os << '"';
+    jsonEscape(os, s);
 }
 
 } // namespace
@@ -327,6 +326,118 @@ void
 registerSweepMetrics(MetricsRegistry &reg, const SweepStats &s)
 {
     for (const SweepMetricDesc &d : sweepMetrics()) {
+        if (d.integral)
+            reg.counter(d.name, d.unit, d.help,
+                        static_cast<std::uint64_t>(d.get(s)));
+        else
+            reg.gauge(d.name, d.unit, d.help, d.get(s));
+    }
+}
+
+const std::vector<ServeMetricDesc> &
+serveMetrics()
+{
+    // Wire order of the lbp-serve-v1 `stats` frame — clients and the
+    // serve-smoke CI job key on these exact names; append, never
+    // reorder.
+    static const std::vector<ServeMetricDesc> table = {
+        {"serve_clients_connected", "count",
+         "Client connections accepted since startup", true,
+         [](const ServeStats &s) {
+             return u64Field(s.clientsConnected);
+         }},
+        {"serve_clients_disconnected", "count",
+         "Client connections closed (either side)", true,
+         [](const ServeStats &s) {
+             return u64Field(s.clientsDisconnected);
+         }},
+        {"serve_requests_received", "count",
+         "Submit frames parsed (accepted or not)", true,
+         [](const ServeStats &s) {
+             return u64Field(s.requestsReceived);
+         }},
+        {"serve_requests_accepted", "count",
+         "Accepted replies sent (dedup joins included)", true,
+         [](const ServeStats &s) {
+             return u64Field(s.requestsAccepted);
+         }},
+        {"serve_requests_deduped", "count",
+         "Requests coalesced onto an identical queued or running "
+         "sweep",
+         true,
+         [](const ServeStats &s) {
+             return u64Field(s.requestsDeduped);
+         }},
+        {"serve_requests_rejected", "count",
+         "Rejected replies sent (admission, bad specs, draining, "
+         "internal failures)",
+         true,
+         [](const ServeStats &s) {
+             return u64Field(s.requestsRejected);
+         }},
+        {"serve_requests_timed_out", "count",
+         "Queued requests expired past the queue timeout", true,
+         [](const ServeStats &s) {
+             return u64Field(s.requestsTimedOut);
+         }},
+        {"serve_requests_cancelled", "count",
+         "Queued requests dropped when their last subscriber "
+         "disconnected",
+         true,
+         [](const ServeStats &s) {
+             return u64Field(s.requestsCancelled);
+         }},
+        {"serve_requests_completed", "count",
+         "Result frames delivered to subscribers", true,
+         [](const ServeStats &s) {
+             return u64Field(s.requestsCompleted);
+         }},
+        {"serve_sweeps_executed", "count",
+         "runSweep() invocations (deduped requests share one)", true,
+         [](const ServeStats &s) {
+             return u64Field(s.sweepsExecuted);
+         }},
+        {"serve_events_streamed", "count",
+         "Event frames fanned out to subscribers", true,
+         [](const ServeStats &s) {
+             return u64Field(s.eventsStreamed);
+         }},
+        {"serve_queue_high_water", "count",
+         "Maximum queued+running request depth observed", true,
+         [](const ServeStats &s) {
+             return u64Field(s.queueHighWater);
+         }},
+        {"serve_cells_served", "count",
+         "Cells in delivered results (deduped subscribers count "
+         "each)",
+         true,
+         [](const ServeStats &s) { return u64Field(s.cellsServed); }},
+        {"serve_cells_simulated", "count",
+         "Cells freshly simulated by executed sweeps", true,
+         [](const ServeStats &s) {
+             return u64Field(s.cellsSimulated);
+         }},
+        {"serve_cells_store_hit", "count",
+         "Cells served from the persistent result store", true,
+         [](const ServeStats &s) {
+             return u64Field(s.cellsStoreHit);
+         }},
+        {"serve_cells_cache_hit", "count",
+         "Cells served from the resident SuiteCache", true,
+         [](const ServeStats &s) {
+             return u64Field(s.cellsCacheHit);
+         }},
+        {"serve_drain_s", "seconds",
+         "Drain request to clean exit (0 while serving)", false,
+         [](const ServeStats &s) { return s.drainSeconds; }},
+    };
+    return table;
+}
+
+void
+registerServeMetrics(MetricsRegistry &reg, const ServeStats &s)
+{
+    for (const ServeMetricDesc &d : serveMetrics()) {
         if (d.integral)
             reg.counter(d.name, d.unit, d.help,
                         static_cast<std::uint64_t>(d.get(s)));

@@ -28,6 +28,7 @@ namespace lbp {
 
 struct RunResult;
 struct SweepStats;
+struct ServeStats;
 
 /**
  * Power-of-two bucketed histogram with a fixed, compile-time bucket
@@ -192,6 +193,29 @@ const std::vector<SweepMetricDesc> &sweepMetrics();
 
 /** Register every sweepMetrics() entry of @p s into @p reg. */
 void registerSweepMetrics(MetricsRegistry &reg, const SweepStats &s);
+
+/**
+ * Descriptor tying one exported daemon counter to its ServeStats field
+ * (serve/protocol.hh) — the third registry next to runMetrics() and
+ * sweepMetrics(). The table (serveMetrics()) names everything the
+ * lbp-serve-v1 `stats` frame and lbpserved's exit summary report, so
+ * the wire protocol, the CI smoke assertions, and docs/METRICS.md
+ * share one authority.
+ */
+struct ServeMetricDesc
+{
+    const char *name;  ///< stats-frame counter name
+    const char *unit;
+    const char *help;
+    bool integral;               ///< counter (true) vs gauge (false)
+    double (*get)(const ServeStats &);  ///< field accessor
+};
+
+/** The daemon-counter table, in wire order (append, never reorder). */
+const std::vector<ServeMetricDesc> &serveMetrics();
+
+/** Register every serveMetrics() entry of @p s into @p reg. */
+void registerServeMetrics(MetricsRegistry &reg, const ServeStats &s);
 
 } // namespace lbp
 

@@ -1,0 +1,240 @@
+#include "serve/client.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/jsonl.hh"
+#include "common/socket.hh"
+#include "common/telemetry.hh"
+#include "sim/sweep.hh"
+
+namespace lbp {
+
+namespace {
+
+/**
+ * Extract the raw bytes of an event frame's "data" member. The server
+ * guarantees "data" is the frame's last member, so the payload is
+ * everything between `"data":` and the frame's closing brace —
+ * recovered without reserialization, byte-identical to what the
+ * server-side sweep wrote.
+ */
+bool
+rawEventData(const std::string &frame, std::string &data)
+{
+    static const std::string marker = "\"data\":";
+    const std::size_t pos = frame.find(marker);
+    if (pos == std::string::npos)
+        return false;
+    const std::size_t begin = pos + marker.size();
+    const std::size_t end = frame.find_last_of('}');
+    if (end == std::string::npos || end <= begin)
+        return false;
+    data = frame.substr(begin, end - begin);
+    return true;
+}
+
+std::string
+describeReject(const JsonValue &msg)
+{
+    const JsonValue *code = msg.member("code");
+    const JsonValue *text = msg.member("message");
+    std::string desc = "server rejected the request";
+    if (code && code->kind() == JsonValue::Kind::String)
+        desc += " (" + code->str() + ")";
+    if (text && text->kind() == JsonValue::Kind::String &&
+        !text->str().empty())
+        desc += ": " + text->str();
+    return desc;
+}
+
+} // namespace
+
+double
+ServeSweepResult::counter(const std::string &name, double dflt) const
+{
+    for (const auto &kv : counters)
+        if (kv.first == name)
+            return kv.second;
+    return dflt;
+}
+
+bool
+runServeSweep(const ServeClientOptions &opts, ServeSweepResult &out,
+              std::string &error)
+{
+    TcpConn conn = tcpConnect(opts.host, opts.port, error);
+    if (!conn.valid())
+        return false;
+
+    // Hello exchange: names the protocol, learns the server identity.
+    {
+        std::ostringstream os;
+        os << "{\"type\":\"hello\",\"protocol\":\"" << kServeProtocol
+           << "\",\"client\":\"lbpsweep\"}\n";
+        if (!conn.sendAll(os.str())) {
+            error = "cannot send hello";
+            return false;
+        }
+    }
+    const int timeoutMs =
+        static_cast<int>(opts.timeoutSeconds * 1000.0);
+    std::string line;
+    if (conn.readLine(line, timeoutMs) != 1) {
+        error = "no hello reply from server";
+        return false;
+    }
+    JsonValue msg;
+    if (!JsonValue::parse(line, msg, &error))
+        return false;
+    {
+        const JsonValue *type = msg.member("type");
+        if (!type || type->str() != "hello") {
+            const JsonValue *text = msg.member("message");
+            error = "server refused the hello";
+            if (text && !text->str().empty())
+                error += ": " + text->str();
+            return false;
+        }
+        const JsonValue *proto = msg.member("protocol");
+        if (!proto || proto->str() != kServeProtocol) {
+            error = std::string("server protocol mismatch (want ") +
+                    kServeProtocol + ")";
+            return false;
+        }
+        if (const JsonValue *v = msg.member("fingerprint"))
+            out.serverFingerprint = v->str();
+        if (const JsonValue *v = msg.member("git_sha"))
+            out.serverGitSha = v->str();
+        if (const JsonValue *v = msg.member("jobs"))
+            out.serverJobs = static_cast<unsigned>(v->number());
+    }
+
+    // Submit: CLI flags ride as fields, spec text rides verbatim (the
+    // server applies fields first, then the spec — docs/SERVER.md).
+    {
+        std::ostringstream os;
+        os << "{\"type\":\"submit\",\"id\":\"sweep-1\",\"suite\":";
+        if (opts.fullSuite)
+            os << "\"all\"";
+        else
+            os << opts.suite;
+        os << ",\"warmup\":" << opts.warmupInstrs
+           << ",\"instr\":" << opts.measureInstrs;
+        if (!opts.specText.empty()) {
+            os << ",\"spec\":";
+            jsonEscape(os, opts.specText);
+        }
+        os << "}\n";
+        if (!conn.sendAll(os.str())) {
+            error = "cannot send submit";
+            return false;
+        }
+    }
+
+    // Reply stream: accepted, then events, then the result.
+    Stopwatch sw;
+    std::uint64_t cellsDone = 0;
+    bool accepted = false;
+    while (true) {
+        const int got = conn.readLine(line, timeoutMs);
+        if (got == 0) {
+            error = "server closed the connection mid-request";
+            return false;
+        }
+        if (got < 0) {
+            error = "timed out waiting for the server";
+            return false;
+        }
+        if (!JsonValue::parse(line, msg, &error))
+            return false;
+        const JsonValue *tv = msg.member("type");
+        const std::string type = tv ? tv->str() : "";
+
+        if (type == "accepted") {
+            accepted = true;
+            if (const JsonValue *v = msg.member("cells"))
+                out.cells = static_cast<std::uint64_t>(v->number());
+            if (const JsonValue *v = msg.member("dedup"))
+                out.dedup = v->boolean();
+            continue;
+        }
+        if (type == "event") {
+            const JsonValue *data = msg.member("data");
+            if (opts.eventLog) {
+                std::string raw;
+                if (rawEventData(line, raw))
+                    *opts.eventLog << raw << '\n';
+            }
+            if (data) {
+                const JsonValue *ev = data->member("event");
+                if (ev && ev->str() == "cell") {
+                    ++cellsDone;
+                    if (opts.progress) {
+                        std::fprintf(
+                            opts.progress, "\r%s",
+                            renderSweepProgress(
+                                cellsDone, out.cells, sw.seconds())
+                                .c_str());
+                        std::fflush(opts.progress);
+                    }
+                }
+            }
+            continue;
+        }
+        if (type == "result") {
+            break;
+        }
+        if (type == "rejected" || type == "error") {
+            error = describeReject(msg);
+            return false;
+        }
+        // Unknown frame types are ignored for forward compatibility.
+    }
+    if (!accepted) {
+        error = "server sent a result without accepting the request";
+        return false;
+    }
+    if (opts.progress && out.cells) {
+        std::fprintf(opts.progress, "\r%s\n",
+                     renderSweepProgress(out.cells, out.cells,
+                                         sw.seconds())
+                         .c_str());
+        std::fflush(opts.progress);
+    }
+
+    // Unpack the result frame.
+    if (const JsonValue *v = msg.member("cells"))
+        out.cells = static_cast<std::uint64_t>(v->number());
+    if (const JsonValue *v = msg.member("counters")) {
+        for (const auto &kv : v->members())
+            out.counters.emplace_back(kv.first, kv.second.number());
+    }
+    if (const JsonValue *v = msg.member("configs")) {
+        for (const JsonValue &e : v->items()) {
+            ServeSweepResult::ConfigSummary cs;
+            if (const JsonValue *f = e.member("name"))
+                cs.name = f->str();
+            if (const JsonValue *f = e.member("label"))
+                cs.label = f->str();
+            if (const JsonValue *f = e.member("key"))
+                cs.key = f->str();
+            if (const JsonValue *f = e.member("outcome"))
+                cs.outcome = f->str();
+            if (const JsonValue *f = e.member("wall_s"))
+                cs.wallSeconds = f->number();
+            out.configs.push_back(std::move(cs));
+        }
+    }
+    if (const JsonValue *v = msg.member("csv"))
+        out.csv = v->str();
+    if (const JsonValue *v = msg.member("manifest"))
+        out.manifest = v->str();
+
+    // Polite goodbye; the reply is best-effort.
+    if (conn.sendAll("{\"type\":\"bye\"}\n"))
+        conn.readLine(line, 1000);
+    return true;
+}
+
+} // namespace lbp

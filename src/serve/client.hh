@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The lbp-serve-v1 client: what `lbpsweep --server` runs instead of a
+ * local runSweep().
+ *
+ * runServeSweep() connects, performs the hello exchange, submits one
+ * sweep request and consumes the reply stream: `event` frames are
+ * unwrapped back into the exact JSON-lines the server-side sweep
+ * emitted (so --event-log files match local runs byte for byte),
+ * `cell` events drive the same live progress line, and the final
+ * `result` frame carries the CSV and manifest pre-rendered by the
+ * server — the client writes those bytes out verbatim, which is what
+ * makes server mode indistinguishable from a local sweep.
+ * Wire format: docs/SERVER.md.
+ */
+
+#ifndef LBP_SERVE_CLIENT_HH
+#define LBP_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hh"
+
+namespace lbp {
+
+/** One sweep request, expressed with the lbpsweep CLI's vocabulary. */
+struct ServeClientOptions
+{
+    std::string host = "127.0.0.1";  ///< server address
+    std::uint16_t port = 0;          ///< server port
+
+    /** Raw spec text (--spec file contents); empty = flags only. */
+    std::string specText;
+
+    unsigned suite = 8;      ///< workload cap (--suite)
+    bool fullSuite = false;  ///< --suite all
+    std::uint64_t warmupInstrs = 40000;   ///< --warmup
+    std::uint64_t measureInstrs = 60000;  ///< --instr
+
+    /** Sink for the unwrapped sweep event lines; null = off. */
+    std::ostream *eventLog = nullptr;
+
+    /** Live progress/ETA line sink (stderr in lbpsweep); null = off. */
+    std::FILE *progress = nullptr;
+
+    /** Per-reply-line read timeout; covers the longest single gap
+     *  between server frames, not the whole sweep. */
+    double timeoutSeconds = 3600.0;
+};
+
+/** Everything a `result` frame carried, plus hello metadata. */
+struct ServeSweepResult
+{
+    std::uint64_t cells = 0;  ///< configs x workloads served
+    bool dedup = false;       ///< request coalesced onto another
+
+    /** Sweep counters in sweepMetrics() order (name, value). */
+    std::vector<std::pair<std::string, double>> counters;
+
+    /** Per-config provenance summary. */
+    struct ConfigSummary
+    {
+        std::string name;     ///< spec-facing config name
+        std::string label;    ///< configLabel() of the resolved config
+        std::string key;      ///< configKey() cache identity
+        std::string outcome;  ///< "simulated" / "store_hit" / "cache_hit"
+        double wallSeconds = 0.0;
+    };
+    std::vector<ConfigSummary> configs;
+
+    std::string csv;       ///< writeSweepCsv() bytes, verbatim
+    std::string manifest;  ///< writeSweepManifest() bytes, verbatim
+
+    std::string serverFingerprint;  ///< server hello: build fingerprint
+    std::string serverGitSha;       ///< server hello: git SHA
+    unsigned serverJobs = 0;        ///< server hello: resolved workers
+
+    /** Counter by sweepMetrics() name; @p dflt when absent. */
+    double counter(const std::string &name, double dflt = 0.0) const;
+};
+
+/**
+ * Run one sweep against a daemon. On success fills @p out and returns
+ * true; on any failure — connect, protocol mismatch, `rejected`,
+ * `error`, timeout — fills @p error with a one-line description and
+ * returns false.
+ */
+bool runServeSweep(const ServeClientOptions &opts, ServeSweepResult &out,
+                   std::string &error);
+
+} // namespace lbp
+
+#endif // LBP_SERVE_CLIENT_HH

@@ -1,0 +1,33 @@
+#include "serve/protocol.hh"
+
+namespace lbp {
+
+const char *
+serveErrorCode(ServeError e)
+{
+    switch (e) {
+      case ServeError::BadJson:
+        return "bad_json";
+      case ServeError::BadProtocol:
+        return "bad_protocol";
+      case ServeError::NeedHello:
+        return "need_hello";
+      case ServeError::BadRequest:
+        return "bad_request";
+      case ServeError::BadSpec:
+        return "bad_spec";
+      case ServeError::QueueFull:
+        return "queue_full";
+      case ServeError::TooManyCells:
+        return "too_many_cells";
+      case ServeError::Draining:
+        return "draining";
+      case ServeError::Timeout:
+        return "timeout";
+      case ServeError::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+} // namespace lbp

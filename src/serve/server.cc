@@ -1,0 +1,947 @@
+#include "serve/server.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <streambuf>
+#include <utility>
+#include <vector>
+
+#include "common/jsonl.hh"
+#include "common/socket.hh"
+#include "common/telemetry.hh"
+#include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "sim/result_store.hh"
+#include "sim/suite_cache.hh"
+#include "sim/sweep.hh"
+#include "sim/sweep_spec.hh"
+
+namespace lbp {
+
+namespace {
+
+const char *
+outcomeName(SweepCell::Outcome o)
+{
+    switch (o) {
+      case SweepCell::Outcome::Simulated:
+        return "simulated";
+      case SweepCell::Outcome::StoreHit:
+        return "store_hit";
+      case SweepCell::Outcome::CacheHit:
+        return "cache_hit";
+    }
+    return "unknown";
+}
+
+/**
+ * std::streambuf that hands every completed '\n'-terminated line to a
+ * sink callback — the bridge from runSweep()'s eventLog ostream to the
+ * daemon's per-subscriber event fan-out. The sweep serializes its own
+ * event writes, so the sink runs on one thread at a time.
+ */
+class LineSinkBuf : public std::streambuf
+{
+  public:
+    explicit LineSinkBuf(std::function<void(std::string)> sink)
+        : sink_(std::move(sink))
+    {}
+
+  protected:
+    int_type
+    overflow(int_type ch) override
+    {
+        if (ch != traits_type::eof())
+            push(traits_type::to_char_type(ch));
+        return ch;
+    }
+
+    std::streamsize
+    xsputn(const char *s, std::streamsize n) override
+    {
+        for (std::streamsize i = 0; i < n; ++i)
+            push(s[i]);
+        return n;
+    }
+
+  private:
+    void
+    push(char c)
+    {
+        if (c == '\n') {
+            sink_(std::move(line_));
+            line_.clear();
+        } else {
+            line_ += c;
+        }
+    }
+
+    std::function<void(std::string)> sink_;
+    std::string line_;
+};
+
+/** Render the scalars of @p reg as a flat {"name":value,...} object. */
+std::string
+flatCounters(const MetricsRegistry &reg)
+{
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    for (const Metric &m : reg.scalars()) {
+        if (!first)
+            os << ',';
+        first = false;
+        jsonEscape(os, m.name);
+        os << ':';
+        if (m.integral)
+            os << static_cast<std::uint64_t>(m.value);
+        else
+            os << jsonNumber(m.value);
+    }
+    os << '}';
+    return os.str();
+}
+
+} // namespace
+
+struct Server::Impl
+{
+    explicit Impl(const ServeOptions &o) : opts(o)
+    {
+        int fds[2] = {-1, -1};
+        if (::pipe(fds) == 0) {
+            ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+            ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+            wakeRead = fds[0];
+            wakeWrite = fds[1];
+        }
+    }
+
+    ~Impl()
+    {
+        if (wakeRead >= 0)
+            ::close(wakeRead);
+        if (wakeWrite >= 0)
+            ::close(wakeWrite);
+    }
+
+    // ----- wiring -------------------------------------------------
+
+    struct ClientState
+    {
+        TcpConn conn;
+        bool helloed = false;
+        bool dead = false;
+    };
+
+    struct Request
+    {
+        std::string key;      ///< sweepRequestKey() identity
+        SweepSpec spec;
+        std::vector<Program> suite;
+        std::uint64_t cells = 0;
+        /** Subscribers as (client fd, request id) pairs. */
+        std::vector<std::pair<int, std::string>> subs;
+        Stopwatch age;        ///< time since acceptance
+    };
+    using ReqPtr = std::shared_ptr<Request>;
+
+    struct ResultPayload
+    {
+        SweepStats stats;
+        std::string body;   ///< result-frame tail after the id field
+        bool failed = false;
+        std::string error;
+    };
+
+    ServeOptions opts;
+    TcpListener listener;
+    int wakeRead = -1;
+    int wakeWrite = -1;
+
+    std::map<int, ClientState> clients;  ///< keyed by descriptor
+    std::deque<ReqPtr> queue;
+    ReqPtr running;
+
+    bool draining = false;
+    Stopwatch drainSw;
+    ServeStats st;
+
+    // Executor -> main-loop channel (guarded by chMu; the wake pipe
+    // makes poll() notice).
+    std::mutex chMu;
+    std::vector<std::string> chLines;
+    bool chDone = false;
+    ResultPayload chPayload;
+
+    // Declared last so its destructor joins the worker while the
+    // channel and options above are still alive.
+    ThreadPool exec{1};
+
+    // ----- helpers ------------------------------------------------
+
+    void
+    log(const std::string &msg)
+    {
+        if (opts.log) {
+            std::fprintf(opts.log, "[lbpserved] %s\n", msg.c_str());
+            std::fflush(opts.log);
+        }
+    }
+
+    void
+    serveEvent(const std::string &line)
+    {
+        if (opts.eventLog) {
+            *opts.eventLog << line << '\n';
+            opts.eventLog->flush();
+        }
+    }
+
+    std::size_t
+    pendingDepth() const
+    {
+        return queue.size() + (running ? 1 : 0);
+    }
+
+    void
+    sendTo(ClientState &c, const std::string &frame)
+    {
+        if (c.dead)
+            return;
+        if (!c.conn.sendAll(frame))
+            c.dead = true;
+    }
+
+    void
+    sendError(ClientState &c, ServeError e, const std::string &msg)
+    {
+        std::ostringstream os;
+        os << "{\"type\":\"error\",\"code\":\"" << serveErrorCode(e)
+           << "\",\"message\":";
+        jsonEscape(os, msg);
+        os << "}\n";
+        sendTo(c, os.str());
+    }
+
+    void
+    sendRejected(ClientState &c, const std::string &id, ServeError e,
+                 const std::string &msg)
+    {
+        std::ostringstream os;
+        os << "{\"type\":\"rejected\",\"id\":";
+        jsonEscape(os, id);
+        os << ",\"code\":\"" << serveErrorCode(e)
+           << "\",\"message\":";
+        jsonEscape(os, msg);
+        os << "}\n";
+        sendTo(c, os.str());
+    }
+
+    void
+    wake()
+    {
+        if (wakeWrite >= 0) {
+            const char b = 'W';
+            [[maybe_unused]] const ssize_t n =
+                ::write(wakeWrite, &b, 1);
+        }
+    }
+
+    // ----- executor side ------------------------------------------
+
+    void
+    postLine(std::string line)
+    {
+        {
+            std::lock_guard<std::mutex> lk(chMu);
+            chLines.push_back(std::move(line));
+        }
+        wake();
+    }
+
+    void
+    execute(const Request &req)
+    {
+        ResultPayload p;
+        try {
+            LineSinkBuf buf(
+                [this](std::string l) { postLine(std::move(l)); });
+            std::ostream events(&buf);
+            SweepOptions so;
+            so.jobs = opts.jobs;
+            so.store = opts.store;
+            so.cache = opts.cache;
+            so.eventLog = &events;
+            const SweepResult res =
+                runSweep(req.suite, req.spec.configs, so);
+            p.stats = res.stats;
+            p.body = renderResultBody(res, req.spec.configs);
+        } catch (const std::exception &e) {
+            p.failed = true;
+            p.error = e.what();
+        }
+        {
+            std::lock_guard<std::mutex> lk(chMu);
+            chPayload = std::move(p);
+            chDone = true;
+        }
+        wake();
+    }
+
+    static std::string
+    renderResultBody(const SweepResult &res,
+                     const std::vector<SweepConfig> &configs)
+    {
+        const std::size_t nc = configs.size();
+        const std::size_t nw = nc ? res.cells.size() / nc : 0;
+        std::ostringstream os;
+        os << ",\"cells\":" << res.stats.cellsTotal
+           << ",\"counters\":";
+        MetricsRegistry reg;
+        registerSweepMetrics(reg, res.stats);
+        os << flatCounters(reg);
+        os << ",\"configs\":[";
+        for (std::size_t c = 0; c < nc; ++c) {
+            double wall = 0.0;
+            for (std::size_t w = 0; w < nw; ++w)
+                wall += res.cells[c * nw + w].wallSeconds;
+            const SweepCell::Outcome outcome =
+                nw ? res.cells[c * nw].outcome
+                   : SweepCell::Outcome::Simulated;
+            os << (c ? "," : "") << "{\"name\":";
+            jsonEscape(os, configs[c].name);
+            os << ",\"label\":";
+            jsonEscape(os, configLabel(configs[c].cfg));
+            os << ",\"key\":";
+            jsonEscape(os, res.configKeys[c]);
+            os << ",\"outcome\":\"" << outcomeName(outcome)
+               << "\",\"wall_s\":" << jsonNumber(wall) << '}';
+        }
+        os << "],\"csv\":";
+        std::ostringstream csv;
+        writeSweepCsv(csv, res, configs);
+        jsonEscape(os, csv.str());
+        os << ",\"manifest\":";
+        std::ostringstream man;
+        writeSweepManifest(man, res, configs);
+        jsonEscape(os, man.str());
+        os << '}';
+        return os.str();
+    }
+
+    // ----- main-loop side -----------------------------------------
+
+    void
+    beginDrain()
+    {
+        if (draining)
+            return;
+        draining = true;
+        drainSw.reset();
+        std::ostringstream msg;
+        msg << "draining (" << pendingDepth() << " pending request"
+            << (pendingDepth() == 1 ? "" : "s") << ")";
+        log(msg.str());
+        serveEvent("{\"event\":\"drain_begin\",\"pending\":" +
+                   std::to_string(pendingDepth()) + "}");
+    }
+
+    void
+    drainWakePipe()
+    {
+        char buf[64];
+        while (true) {
+            const ssize_t n = ::read(wakeRead, buf, sizeof(buf));
+            if (n <= 0)
+                break;
+            for (ssize_t i = 0; i < n; ++i)
+                if (buf[i] == 'D')
+                    beginDrain();
+        }
+    }
+
+    void
+    acceptClient()
+    {
+        TcpConn conn = listener.acceptConn();
+        if (!conn.valid())
+            return;
+        const int fd = conn.fd();
+        ClientState cs;
+        cs.conn = std::move(conn);
+        clients.emplace(fd, std::move(cs));
+        ++st.clientsConnected;
+        serveEvent("{\"event\":\"client_connect\",\"fd\":" +
+                   std::to_string(fd) + "}");
+    }
+
+    void
+    dropSubscriptions(int fd)
+    {
+        const auto without = [fd](ReqPtr &req) {
+            auto &subs = req->subs;
+            subs.erase(std::remove_if(subs.begin(), subs.end(),
+                                      [fd](const auto &s) {
+                                          return s.first == fd;
+                                      }),
+                       subs.end());
+        };
+        if (running)
+            without(running);
+        for (auto it = queue.begin(); it != queue.end();) {
+            without(*it);
+            if ((*it)->subs.empty()) {
+                ++st.requestsCancelled;
+                serveEvent("{\"event\":\"request_cancelled\","
+                           "\"cells\":" +
+                           std::to_string((*it)->cells) + "}");
+                it = queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    void
+    reapClients()
+    {
+        for (auto it = clients.begin(); it != clients.end();) {
+            if (!it->second.dead) {
+                ++it;
+                continue;
+            }
+            const int fd = it->first;
+            dropSubscriptions(fd);
+            it = clients.erase(it);
+            ++st.clientsDisconnected;
+            serveEvent("{\"event\":\"client_disconnect\",\"fd\":" +
+                       std::to_string(fd) + "}");
+        }
+    }
+
+    void
+    expireQueued()
+    {
+        for (auto it = queue.begin(); it != queue.end();) {
+            ReqPtr req = *it;
+            if (req->age.seconds() <= opts.queueTimeoutSeconds) {
+                ++it;
+                continue;
+            }
+            for (const auto &sub : req->subs) {
+                auto cit = clients.find(sub.first);
+                if (cit != clients.end())
+                    sendRejected(cit->second, sub.second,
+                                 ServeError::Timeout,
+                                 "request timed out in the queue");
+            }
+            ++st.requestsTimedOut;
+            serveEvent("{\"event\":\"request_timeout\",\"cells\":" +
+                       std::to_string(req->cells) + "}");
+            it = queue.erase(it);
+        }
+    }
+
+    void
+    maybeDispatch()
+    {
+        if (running || queue.empty())
+            return;
+        running = queue.front();
+        queue.pop_front();
+        ++st.sweepsExecuted;
+        serveEvent("{\"event\":\"sweep_begin\",\"cells\":" +
+                   std::to_string(running->cells) +
+                   ",\"subscribers\":" +
+                   std::to_string(running->subs.size()) + "}");
+        ReqPtr req = running;
+        exec.submit([this, req] { execute(*req); });
+    }
+
+    void
+    deliverEventLine(const std::string &line)
+    {
+        serveEvent(line);
+        if (!running)
+            return;
+        for (const auto &sub : running->subs) {
+            auto it = clients.find(sub.first);
+            if (it == clients.end())
+                continue;
+            std::ostringstream os;
+            os << "{\"type\":\"event\",\"id\":";
+            jsonEscape(os, sub.second);
+            os << ",\"data\":" << line << "}\n";
+            sendTo(it->second, os.str());
+            ++st.eventsStreamed;
+        }
+    }
+
+    void
+    completeRunning(ResultPayload &payload)
+    {
+        ReqPtr req = running;
+        running.reset();
+        if (!req)
+            return;
+        st.cellsSimulated += payload.stats.cellsSimulated;
+        st.cellsStoreHit += payload.stats.cellsStoreHit;
+        st.cellsCacheHit += payload.stats.cellsCacheHit;
+        for (const auto &sub : req->subs) {
+            auto it = clients.find(sub.first);
+            if (it == clients.end())
+                continue;
+            if (payload.failed) {
+                ++st.requestsRejected;
+                sendRejected(it->second, sub.second,
+                             ServeError::Internal, payload.error);
+                continue;
+            }
+            std::string frame = "{\"type\":\"result\",\"id\":" +
+                                jsonQuote(sub.second) + payload.body +
+                                "\n";
+            sendTo(it->second, frame);
+            ++st.requestsCompleted;
+            st.cellsServed += payload.stats.cellsTotal;
+        }
+        serveEvent("{\"event\":\"sweep_end\",\"cells\":" +
+                   std::to_string(req->cells) + ",\"simulated\":" +
+                   std::to_string(payload.stats.cellsSimulated) +
+                   ",\"store_hit\":" +
+                   std::to_string(payload.stats.cellsStoreHit) +
+                   ",\"cache_hit\":" +
+                   std::to_string(payload.stats.cellsCacheHit) + "}");
+    }
+
+    void
+    drainChannel()
+    {
+        std::vector<std::string> lines;
+        bool done = false;
+        ResultPayload payload;
+        {
+            std::lock_guard<std::mutex> lk(chMu);
+            lines.swap(chLines);
+            done = chDone;
+            chDone = false;
+            if (done)
+                payload = std::move(chPayload);
+        }
+        for (const std::string &l : lines)
+            deliverEventLine(l);
+        if (done)
+            completeRunning(payload);
+    }
+
+    // ----- message handling ---------------------------------------
+
+    void
+    handleHello(ClientState &c, const JsonValue &msg)
+    {
+        const JsonValue *proto = msg.member("protocol");
+        if (!proto || proto->str() != kServeProtocol) {
+            sendError(c, ServeError::BadProtocol,
+                      std::string("this server speaks ") +
+                          kServeProtocol);
+            c.dead = true;
+            return;
+        }
+        c.helloed = true;
+        std::ostringstream os;
+        os << "{\"type\":\"hello\",\"protocol\":\"" << kServeProtocol
+           << "\",\"server\":\"lbpserved\",\"fingerprint\":";
+        jsonEscape(os, buildFingerprint());
+        os << ",\"git_sha\":";
+        jsonEscape(os, gitShaString());
+        os << ",\"jobs\":" << resolveJobs(opts.jobs) << "}\n";
+        sendTo(c, os.str());
+    }
+
+    void
+    handleSubmit(int fd, ClientState &c, const JsonValue &msg)
+    {
+        ++st.requestsReceived;
+        const JsonValue *idv = msg.member("id");
+        if (!idv || idv->kind() != JsonValue::Kind::String ||
+            idv->str().empty()) {
+            sendError(c, ServeError::BadRequest,
+                      "submit needs a non-empty string id");
+            return;
+        }
+        const std::string id = idv->str();
+        if (draining) {
+            ++st.requestsRejected;
+            sendRejected(c, id, ServeError::Draining,
+                         "server is draining; no new submits");
+            return;
+        }
+
+        SweepSpec spec;
+        if (const JsonValue *v = msg.member("suite")) {
+            if (v->kind() == JsonValue::Kind::String &&
+                v->str() == "all") {
+                spec.fullSuite = true;
+                spec.suite = 0;
+            } else if (v->kind() == JsonValue::Kind::Number) {
+                spec.suite = static_cast<unsigned>(v->number());
+            } else {
+                ++st.requestsRejected;
+                sendRejected(c, id, ServeError::BadRequest,
+                             "suite must be a number or \"all\"");
+                return;
+            }
+        }
+        if (const JsonValue *v = msg.member("warmup")) {
+            if (v->kind() != JsonValue::Kind::Number) {
+                ++st.requestsRejected;
+                sendRejected(c, id, ServeError::BadRequest,
+                             "warmup must be a number");
+                return;
+            }
+            spec.warmupInstrs =
+                static_cast<std::uint64_t>(v->number());
+        }
+        if (const JsonValue *v = msg.member("instr")) {
+            if (v->kind() != JsonValue::Kind::Number) {
+                ++st.requestsRejected;
+                sendRejected(c, id, ServeError::BadRequest,
+                             "instr must be a number");
+                return;
+            }
+            spec.measureInstrs =
+                static_cast<std::uint64_t>(v->number());
+        }
+        std::string specText;
+        if (const JsonValue *v = msg.member("spec")) {
+            if (v->kind() != JsonValue::Kind::String) {
+                ++st.requestsRejected;
+                sendRejected(c, id, ServeError::BadRequest,
+                             "spec must be a string");
+                return;
+            }
+            specText = v->str();
+        }
+        std::string err;
+        if (!parseSweepSpecText(specText, spec, err)) {
+            ++st.requestsRejected;
+            sendRejected(c, id, ServeError::BadSpec, err);
+            return;
+        }
+        finalizeSweepSpec(spec);
+        std::vector<Program> suite = buildSpecSuite(spec);
+        const std::uint64_t cells =
+            static_cast<std::uint64_t>(suite.size()) *
+            spec.configs.size();
+        if (cells == 0) {
+            ++st.requestsRejected;
+            sendRejected(c, id, ServeError::BadRequest,
+                         "empty sweep (no configs or no workloads)");
+            return;
+        }
+        const std::string key = sweepRequestKey(suite, spec.configs);
+
+        // Cross-client dedup: an identical request that is queued or
+        // in flight gains a subscriber instead of a new simulation.
+        ReqPtr joined;
+        if (running && running->key == key)
+            joined = running;
+        if (!joined) {
+            for (const ReqPtr &q : queue) {
+                if (q->key == key) {
+                    joined = q;
+                    break;
+                }
+            }
+        }
+        if (joined) {
+            joined->subs.emplace_back(fd, id);
+            ++st.requestsDeduped;
+            ++st.requestsAccepted;
+            sendAccepted(c, id, cells, true);
+            serveEvent("{\"event\":\"submit\",\"outcome\":\"dedup\","
+                       "\"cells\":" +
+                       std::to_string(cells) + "}");
+            return;
+        }
+
+        // Admission control: bounded queue, bounded pending cells.
+        const std::size_t depth = pendingDepth();
+        if (depth >= opts.maxQueue) {
+            ++st.requestsRejected;
+            sendRejected(c, id, ServeError::QueueFull,
+                         "request queue is full (" +
+                             std::to_string(opts.maxQueue) + ")");
+            serveEvent("{\"event\":\"submit\",\"outcome\":"
+                       "\"queue_full\"}");
+            return;
+        }
+        std::uint64_t pendingCells = running ? running->cells : 0;
+        for (const ReqPtr &q : queue)
+            pendingCells += q->cells;
+        if (pendingCells + cells > opts.maxCells) {
+            ++st.requestsRejected;
+            sendRejected(c, id, ServeError::TooManyCells,
+                         "pending cell budget exceeded (" +
+                             std::to_string(pendingCells) + " + " +
+                             std::to_string(cells) + " > " +
+                             std::to_string(opts.maxCells) + ")");
+            serveEvent("{\"event\":\"submit\",\"outcome\":"
+                       "\"too_many_cells\"}");
+            return;
+        }
+
+        ReqPtr req = std::make_shared<Request>();
+        req->key = key;
+        req->spec = std::move(spec);
+        req->suite = std::move(suite);
+        req->cells = cells;
+        req->subs.emplace_back(fd, id);
+        queue.push_back(req);
+        ++st.requestsAccepted;
+        if (depth + 1 > st.queueHighWater)
+            st.queueHighWater = depth + 1;
+        sendAccepted(c, id, cells, false);
+        serveEvent("{\"event\":\"submit\",\"outcome\":\"accepted\","
+                   "\"cells\":" +
+                   std::to_string(cells) + ",\"queue_depth\":" +
+                   std::to_string(pendingDepth()) + "}");
+    }
+
+    void
+    sendAccepted(ClientState &c, const std::string &id,
+                 std::uint64_t cells, bool dedup)
+    {
+        std::ostringstream os;
+        os << "{\"type\":\"accepted\",\"id\":";
+        jsonEscape(os, id);
+        os << ",\"cells\":" << cells << ",\"dedup\":"
+           << (dedup ? "true" : "false")
+           << ",\"queue_depth\":" << pendingDepth() << "}\n";
+        sendTo(c, os.str());
+    }
+
+    void
+    handleStats(ClientState &c)
+    {
+        MetricsRegistry reg;
+        registerServeMetrics(reg, st);
+        sendTo(c, "{\"type\":\"stats\",\"counters\":" +
+                      flatCounters(reg) + "}\n");
+    }
+
+    void
+    handleLine(int fd, ClientState &c, const std::string &line)
+    {
+        JsonValue msg;
+        std::string perr;
+        if (!JsonValue::parse(line, msg, &perr) ||
+            msg.kind() != JsonValue::Kind::Object) {
+            sendError(c, ServeError::BadJson,
+                      perr.empty() ? "frame is not a JSON object"
+                                   : perr);
+            return;
+        }
+        const JsonValue *tv = msg.member("type");
+        const std::string type = tv ? tv->str() : "";
+        if (type == "hello") {
+            handleHello(c, msg);
+            return;
+        }
+        if (!c.helloed) {
+            sendError(c, ServeError::NeedHello,
+                      "say hello before anything else");
+            return;
+        }
+        if (type == "submit") {
+            handleSubmit(fd, c, msg);
+        } else if (type == "stats") {
+            handleStats(c);
+        } else if (type == "drain") {
+            beginDrain();
+            sendTo(c, "{\"type\":\"draining\",\"pending\":" +
+                          std::to_string(pendingDepth()) + "}\n");
+        } else if (type == "bye") {
+            sendTo(c, "{\"type\":\"bye\"}\n");
+            c.dead = true;
+        } else {
+            sendError(c, ServeError::BadRequest,
+                      "unknown frame type '" + type + "'");
+        }
+    }
+
+    void
+    serviceClient(int fd)
+    {
+        auto it = clients.find(fd);
+        if (it == clients.end())
+            return;
+        ClientState &c = it->second;
+        const int got = c.conn.fillAvailable();
+        std::string line;
+        while (!c.dead && c.conn.nextLine(line))
+            handleLine(fd, c, line);
+        if (got < 0)
+            c.dead = true;
+    }
+
+    // ----- top level ----------------------------------------------
+
+    bool
+    start(std::string &error)
+    {
+        if (wakeRead < 0 || wakeWrite < 0) {
+            error = "cannot create wake pipe";
+            return false;
+        }
+        return listener.listenOn(opts.host, opts.port, error);
+    }
+
+    int
+    run()
+    {
+        if (listener.fd() < 0)
+            return 1;
+        {
+            std::ostringstream msg;
+            msg << "serving on " << opts.host << ':'
+                << listener.boundPort() << " (jobs="
+                << resolveJobs(opts.jobs) << ", store="
+                << (opts.store ? opts.store->dir() : "none") << ")";
+            log(msg.str());
+        }
+        serveEvent("{\"event\":\"serve_start\",\"fingerprint\":" +
+                   jsonQuote(buildFingerprint()) + ",\"port\":" +
+                   std::to_string(listener.boundPort()) + "}");
+
+        while (true) {
+            std::vector<pollfd> fds;
+            std::vector<int> cfds;
+            fds.push_back(
+                pollfd{listener.fd(),
+                       static_cast<short>(POLLIN), 0});
+            fds.push_back(
+                pollfd{wakeRead, static_cast<short>(POLLIN), 0});
+            for (const auto &kv : clients) {
+                fds.push_back(
+                    pollfd{kv.first, static_cast<short>(POLLIN), 0});
+                cfds.push_back(kv.first);
+            }
+            const int rc = ::poll(fds.data(),
+                                  static_cast<nfds_t>(fds.size()),
+                                  pollTimeoutMs());
+            if (rc < 0 && errno != EINTR) {
+                log(std::string("poll failed: ") +
+                    std::strerror(errno));
+                return 1;
+            }
+            if (rc > 0 && (fds[1].revents & POLLIN))
+                drainWakePipe();
+            drainChannel();
+            if (rc > 0 && (fds[0].revents & POLLIN))
+                acceptClient();
+            if (rc > 0) {
+                for (std::size_t i = 0; i < cfds.size(); ++i) {
+                    const short ev = fds[i + 2].revents;
+                    if (ev & (POLLIN | POLLHUP | POLLERR))
+                        serviceClient(cfds[i]);
+                }
+            }
+            reapClients();
+            expireQueued();
+            maybeDispatch();
+            if (draining && !running && queue.empty())
+                break;
+        }
+
+        st.drainSeconds = drainSw.seconds();
+        serveEvent("{\"event\":\"serve_exit\",\"drain_s\":" +
+                   jsonNumber(st.drainSeconds) + "}");
+        {
+            std::ostringstream msg;
+            msg << "drained in " << jsonNumber(st.drainSeconds)
+                << "s; served " << st.requestsCompleted
+                << " results (" << st.requestsDeduped
+                << " deduped) over " << st.sweepsExecuted
+                << " sweeps";
+            log(msg.str());
+        }
+        for (auto &kv : clients)
+            kv.second.conn.closeConn();
+        clients.clear();
+        listener.closeListener();
+        return 0;
+    }
+
+    int
+    pollTimeoutMs() const
+    {
+        if (queue.empty())
+            return -1;
+        double oldest = 0.0;
+        for (const ReqPtr &q : queue) {
+            const double a = q->age.seconds();
+            if (a > oldest)
+                oldest = a;
+        }
+        double remain = opts.queueTimeoutSeconds - oldest;
+        if (remain < 0.0)
+            remain = 0.0;
+        double ms = remain * 1000.0 + 1.0;
+        if (ms > 60000.0)
+            ms = 60000.0;
+        return static_cast<int>(ms);
+    }
+};
+
+Server::Server(const ServeOptions &opts)
+    : impl_(std::make_unique<Impl>(opts))
+{}
+
+Server::~Server() = default;
+
+bool
+Server::start(std::string &error)
+{
+    return impl_->start(error);
+}
+
+std::uint16_t
+Server::port() const
+{
+    return impl_->listener.boundPort();
+}
+
+int
+Server::run()
+{
+    return impl_->run();
+}
+
+void
+Server::requestDrain()
+{
+    if (impl_->wakeWrite >= 0) {
+        const char b = 'D';
+        [[maybe_unused]] const ssize_t n =
+            ::write(impl_->wakeWrite, &b, 1);
+    }
+}
+
+ServeStats
+Server::stats() const
+{
+    return impl_->st;
+}
+
+} // namespace lbp

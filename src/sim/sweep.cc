@@ -4,6 +4,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "common/jsonl.hh"
 #include "common/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "sim/result_store.hh"
@@ -27,28 +28,12 @@ outcomeName(SweepCell::Outcome o)
     return "unknown";
 }
 
-void
-jsonEscape(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            os << '\\';
-        os << c;
-    }
-    os << '"';
-}
-
-/**
- * Deterministic, lossless double rendering (%.17g round-trips IEEE
- * doubles): cold- and warm-store sweeps must emit identical bytes.
- */
+/** Deterministic, lossless double rendering (common/jsonl.hh):
+ *  cold- and warm-store sweeps must emit identical bytes. */
 std::string
 num(double v)
 {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return buf;
+    return jsonNumber(v);
 }
 
 double

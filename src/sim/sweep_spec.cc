@@ -1,0 +1,224 @@
+#include "sim/sweep_spec.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/suite_cache.hh"
+#include "workload/suite.hh"
+
+namespace lbp {
+
+bool
+sweepSchemeKind(const std::string &name, RepairKind &kind)
+{
+    const struct
+    {
+        const char *name;
+        RepairKind k;
+    } names[] = {
+        {"perfect", RepairKind::Perfect},
+        {"no-repair", RepairKind::NoRepair},
+        {"retire-update", RepairKind::RetireUpdate},
+        {"backward-walk", RepairKind::BackwardWalk},
+        {"snapshot", RepairKind::Snapshot},
+        {"forward-walk", RepairKind::ForwardWalk},
+        {"limited-pc", RepairKind::LimitedPc},
+        {"multi-stage", RepairKind::MultiStage},
+        {"future-file", RepairKind::FutureFile},
+    };
+    for (const auto &n : names) {
+        if (name == n.name) {
+            kind = n.k;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+/**
+ * Parse one `config` line: scheme name plus optional ports=M-N-P,
+ * loop=64|128|256, tage=7|9|57, limited-m=M, coalesce, name=<id>
+ * modifiers. Budgets are the spec's current ones.
+ */
+bool
+parseConfigLine(std::istringstream &ls, const SweepSpec &spec,
+                SweepConfig &out, std::string &error)
+{
+    std::string scheme;
+    if (!(ls >> scheme)) {
+        error = "spec: 'config' needs a scheme name";
+        return false;
+    }
+
+    out = SweepConfig();
+    out.name = scheme;
+    out.cfg.warmupInstrs = spec.warmupInstrs;
+    out.cfg.measureInstrs = spec.measureInstrs;
+    if (scheme != "baseline") {
+        RepairKind kind;
+        if (!sweepSchemeKind(scheme, kind)) {
+            error = "spec: unknown scheme '" + scheme + "'";
+            return false;
+        }
+        out.cfg.useLocal = true;
+        out.cfg.repair.kind = kind;
+    }
+
+    std::string tok;
+    while (ls >> tok) {
+        if (tok == "coalesce") {
+            out.cfg.repair.coalesce = true;
+            continue;
+        }
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos) {
+            error = "spec: bad config modifier '" + tok + "'";
+            return false;
+        }
+        const std::string k = tok.substr(0, eq);
+        const std::string v = tok.substr(eq + 1);
+        if (k == "name") {
+            out.name = v;
+        } else if (k == "ports") {
+            unsigned m = 0, n = 0, p = 0;
+            if (std::sscanf(v.c_str(), "%u-%u-%u", &m, &n, &p) != 3) {
+                error = "spec: ports wants M-N-P";
+                return false;
+            }
+            out.cfg.repair.ports = {m, n, p};
+        } else if (k == "loop") {
+            if (v == "64")
+                out.cfg.repair.loop = LoopConfig::entries64();
+            else if (v == "128")
+                out.cfg.repair.loop = LoopConfig::entries128();
+            else if (v == "256")
+                out.cfg.repair.loop = LoopConfig::entries256();
+            else {
+                error = "spec: loop must be 64, 128 or 256";
+                return false;
+            }
+        } else if (k == "tage") {
+            if (v == "7")
+                out.cfg.tage = TageConfig::kb7();
+            else if (v == "9")
+                out.cfg.tage = TageConfig::kb9();
+            else if (v == "57")
+                out.cfg.tage = TageConfig::kb57();
+            else {
+                error = "spec: tage must be 7, 9 or 57";
+                return false;
+            }
+        } else if (k == "limited-m") {
+            out.cfg.repair.limitedM =
+                static_cast<unsigned>(std::atoi(v.c_str()));
+        } else {
+            error = "spec: unknown config key '" + k + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseSweepSpecText(const std::string &text, SweepSpec &spec,
+                   std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word))
+            continue;
+        if (word == "suite") {
+            std::string v;
+            ls >> v;
+            if (v == "all") {
+                spec.fullSuite = true;
+                spec.suite = 0;
+            } else {
+                spec.fullSuite = false;
+                spec.suite =
+                    static_cast<unsigned>(std::atoi(v.c_str()));
+            }
+        } else if (word == "warmup") {
+            ls >> spec.warmupInstrs;
+        } else if (word == "instr") {
+            ls >> spec.measureInstrs;
+        } else if (word == "config") {
+            SweepConfig sc;
+            if (!parseConfigLine(ls, spec, sc, error))
+                return false;
+            spec.configs.push_back(std::move(sc));
+        } else {
+            error = "spec: unknown directive '" + word + "'";
+            return false;
+        }
+    }
+    return true;
+}
+
+std::vector<SweepConfig>
+defaultFigureConfigs(const SweepSpec &spec)
+{
+    const char *schemes[] = {
+        "baseline",      "perfect",      "no-repair",
+        "retire-update", "backward-walk", "snapshot",
+        "forward-walk",  "forward-walk+merge", "limited-pc",
+        "multi-stage",   "future-file",
+    };
+    std::vector<SweepConfig> configs;
+    for (const char *s : schemes) {
+        std::string scheme = s;
+        const bool merge = scheme == "forward-walk+merge";
+        std::istringstream mods(merge ? "forward-walk coalesce "
+                                        "name=forward-walk+merge"
+                                      : scheme);
+        SweepConfig sc;
+        std::string error;
+        // The default set is a fixed, well-formed spec; a parse
+        // failure here is a programming error, not user input.
+        if (parseConfigLine(mods, spec, sc, error))
+            configs.push_back(std::move(sc));
+    }
+    return configs;
+}
+
+void
+finalizeSweepSpec(SweepSpec &spec)
+{
+    if (spec.configs.empty())
+        spec.configs = defaultFigureConfigs(spec);
+}
+
+std::vector<Program>
+buildSpecSuite(const SweepSpec &spec)
+{
+    SuiteOptions sopts;
+    sopts.maxWorkloads = spec.fullSuite ? 0 : spec.suite;
+    return buildSuite(sopts);
+}
+
+std::string
+sweepRequestKey(const std::vector<Program> &suite,
+                const std::vector<SweepConfig> &configs)
+{
+    std::string key = suiteKey(suite);
+    for (const SweepConfig &sc : configs) {
+        key += '\n';
+        key += sc.name;
+        key += '\x1f';
+        key += configKey(sc.cfg);
+    }
+    return key;
+}
+
+} // namespace lbp

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Resident sweep daemon (src/serve): cross-client dedup with
+ * byte-identical results, graceful drain semantics (in-flight work
+ * finishes, new submits are rejected, clean exit), and the thin-client
+ * guarantee — `lbpsweep --server` output byte-identical to a local
+ * sweep for the default figure set. Wire format under test:
+ * docs/SERVER.md (lbp-serve-v1).
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/jsonl.hh"
+#include "common/socket.hh"
+#include "common/thread_pool.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "sim/suite_cache.hh"
+#include "sim/sweep.hh"
+#include "sim/sweep_spec.hh"
+
+using namespace lbp;
+
+namespace {
+
+constexpr const char *kHello =
+    "{\"type\":\"hello\",\"protocol\":\"lbp-serve-v1\"}\n";
+
+/** Read one frame (30s timeout) and parse it; fails the test on EOF,
+ *  timeout or malformed JSON. */
+JsonValue
+readFrame(TcpConn &conn)
+{
+    std::string line;
+    const int got = conn.readLine(line, 30000);
+    EXPECT_EQ(got, 1) << "no frame from server";
+    JsonValue msg;
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse(line, msg, &err))
+        << err << " in: " << line;
+    return msg;
+}
+
+std::string
+frameType(const JsonValue &msg)
+{
+    const JsonValue *t = msg.member("type");
+    return t ? t->str() : "";
+}
+
+/** Drive the hello exchange; returns after the server's hello. */
+void
+shakeHands(TcpConn &conn)
+{
+    ASSERT_TRUE(conn.sendAll(kHello));
+    const JsonValue reply = readFrame(conn);
+    ASSERT_EQ(frameType(reply), "hello");
+    const JsonValue *proto = reply.member("protocol");
+    ASSERT_TRUE(proto);
+    EXPECT_EQ(proto->str(), "lbp-serve-v1");
+}
+
+/** Consume frames for @p id until its result arrives; returns it. */
+JsonValue
+awaitResult(TcpConn &conn, const std::string &id)
+{
+    while (true) {
+        const JsonValue msg = readFrame(conn);
+        const std::string type = frameType(msg);
+        EXPECT_NE(type, "rejected") << "request " << id << " rejected";
+        EXPECT_NE(type, "error") << "protocol error for " << id;
+        if (type == "rejected" || type == "error" || type.empty())
+            return msg;
+        if (type == "result") {
+            const JsonValue *idv = msg.member("id");
+            EXPECT_TRUE(idv && idv->str() == id);
+            return msg;
+        }
+    }
+}
+
+/** A submit frame meaty enough (~1.4M instrs) to still be in flight
+ *  when a back-to-back duplicate arrives. */
+std::string
+bigSubmit(const std::string &id)
+{
+    return "{\"type\":\"submit\",\"id\":\"" + id +
+           "\",\"suite\":2,\"warmup\":1000,\"instr\":200000,"
+           "\"spec\":\"config forward-walk\"}\n";
+}
+
+} // namespace
+
+TEST(Serve, DedupTwoClientsShareOneSimulation)
+{
+    SuiteCache cache;  // fresh: the server must actually simulate
+    ServeOptions sopts;
+    sopts.port = 0;
+    sopts.jobs = 2;
+    sopts.cache = &cache;
+    Server server(sopts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    ThreadPool pool(1);
+    int rc = -1;
+    pool.submit([&] { rc = server.run(); });
+
+    TcpConn a = tcpConnect("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(a.valid()) << err;
+    TcpConn b = tcpConnect("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(b.valid()) << err;
+    shakeHands(a);
+    shakeHands(b);
+
+    // Identical submits, back to back: the second must coalesce onto
+    // the first (the sweep runs far longer than the submit gap).
+    ASSERT_TRUE(a.sendAll(bigSubmit("ra")));
+    const JsonValue accA = readFrame(a);
+    ASSERT_EQ(frameType(accA), "accepted");
+    ASSERT_TRUE(accA.member("dedup"));
+    EXPECT_FALSE(accA.member("dedup")->boolean(true));
+
+    ASSERT_TRUE(b.sendAll(bigSubmit("rb")));
+    const JsonValue accB = readFrame(b);
+    ASSERT_EQ(frameType(accB), "accepted");
+    ASSERT_TRUE(accB.member("dedup"));
+    EXPECT_TRUE(accB.member("dedup")->boolean(false));
+
+    const JsonValue resA = awaitResult(a, "ra");
+    const JsonValue resB = awaitResult(b, "rb");
+    ASSERT_EQ(frameType(resA), "result");
+    ASSERT_EQ(frameType(resB), "result");
+
+    // Both subscribers get byte-identical payloads.
+    const JsonValue *csvA = resA.member("csv");
+    const JsonValue *csvB = resB.member("csv");
+    ASSERT_TRUE(csvA && csvB);
+    EXPECT_FALSE(csvA->str().empty());
+    EXPECT_EQ(csvA->str(), csvB->str());
+    ASSERT_TRUE(resA.member("manifest") && resB.member("manifest"));
+    EXPECT_EQ(resA.member("manifest")->str(),
+              resB.member("manifest")->str());
+
+    a.closeConn();
+    b.closeConn();
+    server.requestDrain();
+    pool.wait();
+    EXPECT_EQ(rc, 0);
+
+    const ServeStats st = server.stats();
+    EXPECT_EQ(st.sweepsExecuted, 1u);   // one simulation for both
+    EXPECT_EQ(st.requestsReceived, 2u);
+    EXPECT_EQ(st.requestsAccepted, 2u);
+    EXPECT_EQ(st.requestsDeduped, 1u);
+    EXPECT_EQ(st.requestsCompleted, 2u);
+    EXPECT_EQ(st.clientsConnected, 2u);
+    EXPECT_GT(st.eventsStreamed, 0u);
+    EXPECT_GT(st.cellsSimulated, 0u);
+}
+
+TEST(Serve, DrainFinishesInFlightAndRejectsNewSubmits)
+{
+    SuiteCache cache;
+    ServeOptions sopts;
+    sopts.port = 0;
+    sopts.jobs = 2;
+    sopts.cache = &cache;
+    Server server(sopts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    ThreadPool pool(1);
+    int rc = -1;
+    pool.submit([&] { rc = server.run(); });
+
+    TcpConn conn = tcpConnect("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    shakeHands(conn);
+
+    ASSERT_TRUE(conn.sendAll(bigSubmit("r1")));
+    const JsonValue acc = readFrame(conn);
+    ASSERT_EQ(frameType(acc), "accepted");
+
+    // Drain via the protocol: same-connection ordering guarantees the
+    // server is draining before it reads the next submit. Event frames
+    // from the in-flight sweep may interleave before the reply.
+    ASSERT_TRUE(conn.sendAll("{\"type\":\"drain\"}\n"));
+    JsonValue draining;
+    while (true) {
+        draining = readFrame(conn);
+        if (frameType(draining) != "event")
+            break;
+    }
+    ASSERT_EQ(frameType(draining), "draining");
+    ASSERT_TRUE(draining.member("pending"));
+    EXPECT_EQ(draining.member("pending")->number(), 1.0);
+
+    ASSERT_TRUE(conn.sendAll(bigSubmit("r2")));
+    JsonValue rej;
+    while (true) {
+        rej = readFrame(conn);
+        if (frameType(rej) != "event")
+            break;
+    }
+    ASSERT_EQ(frameType(rej), "rejected");
+    ASSERT_TRUE(rej.member("id") && rej.member("code"));
+    EXPECT_EQ(rej.member("id")->str(), "r2");
+    EXPECT_EQ(rej.member("code")->str(), "draining");
+
+    // The in-flight request still completes...
+    const JsonValue res = awaitResult(conn, "r1");
+    ASSERT_EQ(frameType(res), "result");
+    ASSERT_TRUE(res.member("csv"));
+    EXPECT_FALSE(res.member("csv")->str().empty());
+
+    // ...and the server then exits cleanly.
+    pool.wait();
+    EXPECT_EQ(rc, 0);
+    const ServeStats st = server.stats();
+    EXPECT_EQ(st.sweepsExecuted, 1u);
+    EXPECT_EQ(st.requestsCompleted, 1u);
+    EXPECT_EQ(st.requestsRejected, 1u);
+    EXPECT_GT(st.drainSeconds, 0.0);
+}
+
+TEST(Serve, ServerSweepByteIdenticalToLocal)
+{
+    // Local reference: the default figure set over a tiny suite,
+    // simulated from a cold cache.
+    SweepSpec spec;
+    spec.suite = 2;
+    spec.warmupInstrs = 2000;
+    spec.measureInstrs = 3000;
+    finalizeSweepSpec(spec);
+    const std::vector<Program> suite = buildSpecSuite(spec);
+
+    SuiteCache localCache;
+    SweepOptions lopts;
+    lopts.jobs = 2;
+    lopts.cache = &localCache;
+    const SweepResult local = runSweep(suite, spec.configs, lopts);
+    std::ostringstream localCsv;
+    writeSweepCsv(localCsv, local, spec.configs);
+
+    // Server side: a fresh daemon with its own cold cache.
+    SuiteCache serverCache;
+    ServeOptions sopts;
+    sopts.port = 0;
+    sopts.jobs = 2;
+    sopts.cache = &serverCache;
+    Server server(sopts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    ThreadPool pool(1);
+    int rc = -1;
+    pool.submit([&] { rc = server.run(); });
+
+    ServeClientOptions copts;
+    copts.host = "127.0.0.1";
+    copts.port = server.port();
+    copts.suite = 2;
+    copts.warmupInstrs = 2000;
+    copts.measureInstrs = 3000;
+    ServeSweepResult res;
+    ASSERT_TRUE(runServeSweep(copts, res, err)) << err;
+
+    EXPECT_EQ(res.cells, local.stats.cellsTotal);
+    EXPECT_EQ(res.csv, localCsv.str());
+    EXPECT_EQ(res.configs.size(), spec.configs.size());
+    for (std::size_t c = 0; c < res.configs.size(); ++c) {
+        EXPECT_EQ(res.configs[c].name, spec.configs[c].name);
+        EXPECT_EQ(res.configs[c].key, local.configKeys[c]);
+    }
+    // Manifests agree on identity (timings legitimately differ).
+    EXPECT_NE(res.manifest.find("\"suite_key\": " +
+                                jsonQuote(local.suiteKey)),
+              std::string::npos);
+    EXPECT_EQ(res.counter("sweep_cells_total"),
+              static_cast<double>(local.stats.cellsTotal));
+    EXPECT_EQ(res.counter("sweep_cells_simulated"),
+              static_cast<double>(local.stats.cellsSimulated));
+
+    server.requestDrain();
+    pool.wait();
+    EXPECT_EQ(rc, 0);
+}

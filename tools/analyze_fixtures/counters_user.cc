@@ -1,10 +1,14 @@
-// Companion to bad_counters.hh / runner.hh: provides the write sites
-// that keep FixtureStats::fixLive and CoreStats::cycles alive.
+// Companion to bad_counters.hh / runner.hh / protocol.hh: provides
+// the write sites that keep FixtureStats::fixLive, CoreStats::cycles
+// and the ServeStats fields alive.
 #include "bad_counters.hh"
+#include "protocol.hh"
 #include "runner.hh"
 
-void touchCounters(FixtureStats &st, CoreStats &cs)
+void touchCounters(FixtureStats &st, CoreStats &cs, ServeStats &ss)
 {
     st.fixLive += 1;
     cs.cycles += 1;
+    ss.fixClients += 1;
+    ss.fixOrphanServe += 1;
 }

@@ -1,7 +1,10 @@
 // Miniature runMetrics() table for the metric-row-coverage rule: a
 // duplicated row name and a stale row referencing a field RunResult
 // does not have (two findings anchored here), plus the double export
-// of 'dup' reported against runner.hh.
+// of 'dup' reported against runner.hh. The serveMetrics() table below
+// adds a stale ServeStats row (third finding here) and leaves
+// protocol.hh's fixOrphanServe uncovered (finding anchored there).
+#include "protocol.hh"
 #include "runner.hh"
 
 #include <vector>
@@ -22,6 +25,26 @@ const std::vector<RunMetricDesc> &runMetrics()
         {"fix_dup", [](const RunResult &r) { return r.dup; }},
         {"fix_dup", [](const RunResult &r) { return r.dup; }},
         {"fix_ghost", [](const RunResult &r) { return r.ghost; }},
+    };
+    return table;
+}
+
+struct ServeMetricDesc {
+    const char *name;
+    double (*get)(const ServeStats &);
+};
+
+const std::vector<ServeMetricDesc> &serveMetrics()
+{
+    static const std::vector<ServeMetricDesc> table = {
+        {"fix_serve_clients",
+         [](const ServeStats &s) {
+             return static_cast<double>(s.fixClients);
+         }},
+        {"fix_serve_ghost",
+         [](const ServeStats &s) {
+             return static_cast<double>(s.ghostServe);
+         }},
     };
     return table;
 }

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Graceful-drain check for lbpserved's signal path.
+
+The gtest suite covers the in-protocol `drain` frame deterministically
+(tests/test_serve.cc); this script drives the *signal* path end to end
+with a real process: SIGTERM lands while a sweep is in flight, after
+which the daemon must
+
+  1. reject new submits with code "draining",
+  2. still deliver the in-flight request's result, and
+  3. exit 0.
+
+Usage:
+    check_serve_drain.py <lbpserved> <scratch_dir>
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def fail(msg):
+    print(f"check_serve_drain: {msg}")
+    return 1
+
+
+def recv_frame(sock, buf):
+    while b"\n" not in buf[0]:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None
+        buf[0] += chunk
+    line, buf[0] = buf[0].split(b"\n", 1)
+    return json.loads(line)
+
+
+def next_non_event(sock, buf):
+    while True:
+        msg = recv_frame(sock, buf)
+        if msg is None or msg.get("type") != "event":
+            return msg
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    daemon_path, scratch = argv[1], argv[2]
+    os.makedirs(scratch, exist_ok=True)
+    port_file = os.path.join(scratch, "drain.port")
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    env = dict(os.environ)
+    env.pop("REPRO_RESULT_STORE", None)  # every cell must simulate
+    daemon = subprocess.Popen(
+        [daemon_path, "--port", "0", "--jobs", "1",
+         "--port-file", port_file, "--quiet"],
+        env=env)
+    try:
+        for _ in range(200):
+            if os.path.exists(port_file):
+                break
+            time.sleep(0.05)
+        else:
+            return fail("daemon never wrote its port file")
+        port = int(open(port_file).read().strip())
+
+        sock = socket.create_connection(("127.0.0.1", port),
+                                        timeout=120)
+        buf = [b""]
+        sock.sendall(b'{"type":"hello","protocol":"lbp-serve-v1"}\n')
+        hello = recv_frame(sock, buf)
+        if not hello or hello.get("type") != "hello":
+            return fail(f"bad hello reply: {hello!r}")
+
+        # A sweep long enough (~70M instructions, one worker — a few
+        # seconds) that SIGTERM is guaranteed to land mid-flight.
+        submit = {"type": "submit", "id": "r1", "suite": 2,
+                  "warmup": 1000, "instr": 10000000,
+                  "spec": "config forward-walk"}
+        sock.sendall(json.dumps(submit).encode() + b"\n")
+        acc = recv_frame(sock, buf)
+        if not acc or acc.get("type") != "accepted":
+            return fail(f"submit not accepted: {acc!r}")
+
+        # The sweep_start event proves the sweep is running.
+        first = recv_frame(sock, buf)
+        if (not first or first.get("type") != "event" or
+                first.get("data", {}).get("event") != "sweep_start"):
+            return fail(f"expected sweep_start event, got {first!r}")
+
+        daemon.send_signal(signal.SIGTERM)
+        time.sleep(0.5)  # let the signal's wake byte reach the loop
+
+        submit["id"] = "r2"
+        sock.sendall(json.dumps(submit).encode() + b"\n")
+        rej = next_non_event(sock, buf)
+        if (not rej or rej.get("type") != "rejected" or
+                rej.get("id") != "r2" or rej.get("code") != "draining"):
+            return fail(f"expected rejected(draining) for r2, "
+                        f"got {rej!r}")
+
+        res = next_non_event(sock, buf)
+        if (not res or res.get("type") != "result" or
+                res.get("id") != "r1" or not res.get("csv")):
+            return fail(f"expected r1's result after drain, "
+                        f"got {str(res)[:200]!r}")
+
+        # After delivering the last result the daemon exits cleanly.
+        rc = daemon.wait(timeout=120)
+        if rc != 0:
+            return fail(f"daemon exited {rc}, expected 0")
+        sock.close()
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+    print("check_serve_drain: SIGTERM drained cleanly "
+          "(r1 delivered, r2 rejected, exit 0)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Replay docs/SERVER.md's transcript blocks against a live lbpserved.
+
+The fenced ```transcript blocks in docs/SERVER.md are the normative
+examples of the lbp-serve-v1 wire protocol. This checker keeps them
+honest: it starts one daemon (--jobs 1, memory-only store) and replays
+every block in document order, each on a fresh connection —
+
+  C: <line>   sent to the server verbatim (plus the newline)
+  S: <json>   must match the server's next frame
+  #  ...      comment, ignored
+
+Matching is structural: "*" matches any value; every other value must
+be equal, and objects must have exactly the expected key set (a new
+field in a server frame is a spec bug — document it). Arrays match
+element-wise.
+
+Usage:
+    check_server_transcript.py <SERVER.md> <lbpserved> <scratch_dir>
+
+Exit 0 when every block replays and the daemon drains cleanly on
+SIGTERM; 1 otherwise.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def fail(msg):
+    print(f"check_server_transcript: {msg}")
+    return 1
+
+
+def extract_blocks(doc_path):
+    text = open(doc_path, encoding="utf-8").read()
+    return re.findall(r"```transcript\n(.*?)```", text, re.S)
+
+
+def match(exp, act, path="frame"):
+    """Structural match of actual frame against expected; returns an
+    error string or None."""
+    if exp == "*":
+        return None
+    if isinstance(exp, dict):
+        if not isinstance(act, dict):
+            return f"{path}: expected object, got {act!r}"
+        if set(exp) != set(act):
+            missing = sorted(set(exp) - set(act))
+            extra = sorted(set(act) - set(exp))
+            return (f"{path}: key set mismatch "
+                    f"(missing {missing}, unexpected {extra})")
+        for k in exp:
+            err = match(exp[k], act[k], f"{path}.{k}")
+            if err:
+                return err
+        return None
+    if isinstance(exp, list):
+        if not isinstance(act, list):
+            return f"{path}: expected array, got {act!r}"
+        if len(exp) != len(act):
+            return (f"{path}: expected {len(exp)} elements, "
+                    f"got {len(act)}")
+        for i, (e, a) in enumerate(zip(exp, act)):
+            err = match(e, a, f"{path}[{i}]")
+            if err:
+                return err
+        return None
+    if isinstance(exp, bool) or isinstance(act, bool):
+        if exp is not act:
+            return f"{path}: expected {exp!r}, got {act!r}"
+        return None
+    if isinstance(exp, (int, float)) and isinstance(act, (int, float)):
+        if float(exp) != float(act):
+            return f"{path}: expected {exp!r}, got {act!r}"
+        return None
+    if exp != act:
+        return f"{path}: expected {exp!r}, got {act!r}"
+    return None
+
+
+class Conn:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port),
+                                             timeout=60)
+        self.buf = b""
+
+    def send(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def recv_frame(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                return None
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return line.decode()
+
+    def close(self):
+        self.sock.close()
+
+
+def replay_block(port, block_no, block):
+    conn = Conn(port)
+    try:
+        for line_no, raw in enumerate(block.splitlines(), 1):
+            where = f"block {block_no} line {line_no}"
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line.startswith("C: "):
+                conn.send(line[3:])
+            elif line.startswith("S: "):
+                expected = json.loads(line[3:])
+                actual_raw = conn.recv_frame()
+                if actual_raw is None:
+                    return fail(f"{where}: server closed the "
+                                f"connection, expected {line[3:]}")
+                try:
+                    actual = json.loads(actual_raw)
+                except ValueError as e:
+                    return fail(f"{where}: server sent non-JSON "
+                                f"{actual_raw!r} ({e})")
+                err = match(expected, actual)
+                if err:
+                    return fail(f"{where}: {err}\n  expected: "
+                                f"{line[3:]}\n  actual:   {actual_raw}")
+            else:
+                return fail(f"{where}: transcript lines must start "
+                            f"with 'C: ', 'S: ' or '#', got {raw!r}")
+    finally:
+        conn.close()
+    return 0
+
+
+def main(argv):
+    if len(argv) != 4:
+        print(__doc__)
+        return 2
+    doc_path, daemon_path, scratch = argv[1], argv[2], argv[3]
+    blocks = extract_blocks(doc_path)
+    if not blocks:
+        return fail(f"no ```transcript blocks in {doc_path}")
+
+    os.makedirs(scratch, exist_ok=True)
+    port_file = os.path.join(scratch, "transcript.port")
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    env = dict(os.environ)
+    env.pop("REPRO_RESULT_STORE", None)  # memory-only: cold outcomes
+    daemon = subprocess.Popen(
+        [daemon_path, "--port", "0", "--jobs", "1",
+         "--port-file", port_file, "--quiet"],
+        env=env)
+    try:
+        for _ in range(200):
+            if os.path.exists(port_file):
+                break
+            time.sleep(0.05)
+        else:
+            return fail("daemon never wrote its port file")
+        port = int(open(port_file).read().strip())
+
+        for block_no, block in enumerate(blocks, 1):
+            if replay_block(port, block_no, block):
+                return 1
+
+        daemon.send_signal(signal.SIGTERM)
+        rc = daemon.wait(timeout=60)
+        if rc != 0:
+            return fail(f"daemon exited {rc} on SIGTERM, expected 0")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+    print(f"check_server_transcript: {len(blocks)} blocks replayed "
+          f"against {os.path.basename(daemon_path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

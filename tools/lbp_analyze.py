@@ -49,10 +49,12 @@ Rules (findings print as ``rule:file:line: message``):
       every numeric RunResult field (and every CoreStats field behind
       RunResult::stats) must be read by exactly one runMetrics() row,
       every SweepStats field by exactly one primary sweepMetrics() row
-      (rows combining several fields are derived and exempt), row names
-      must be unique across both tables, and no row may reference a
-      field that does not exist. This closes the declared-but-dead and
-      reported-but-unnamed gaps the registry itself cannot see.
+      and every ServeStats field by exactly one primary serveMetrics()
+      row (rows combining several fields are derived and exempt), row
+      names must be unique across all three tables, and no row may
+      reference a field that does not exist. This closes the
+      declared-but-dead and reported-but-unnamed gaps the registry
+      itself cannot see.
 
   no-raw-assert / no-raw-random / no-raw-time / no-raw-thread
       Re-hosted from lbp_lint on the scope engine: the ThreadPool class
@@ -798,10 +800,11 @@ def check_metric_rows(files, findings):
 
     run_rows = table_rows(metrics_sf, "runMetrics") or []
     sweep_rows = table_rows(metrics_sf, "sweepMetrics") or []
+    serve_rows = table_rows(metrics_sf, "serveMetrics") or []
 
-    # Row-name uniqueness across both tables.
+    # Row-name uniqueness across all three tables.
     seen = {}
-    for name, _refs, pos in run_rows + sweep_rows:
+    for name, _refs, pos in run_rows + sweep_rows + serve_rows:
         if name in seen:
             emit(findings, metrics_sf, "metric-row-coverage", pos,
                  f"metric row name '{name}' is declared twice; "
@@ -884,6 +887,42 @@ def check_metric_rows(files, findings):
                          pos,
                          f"sweepMetrics() row '{name}' reads '{ref}', "
                          f"which is not a SweepStats field — stale "
+                         f"row")
+
+    # ServeStats coverage (when the tree has a serve surface). The
+    # stats frame of lbp-serve-v1 is rendered straight from this
+    # table, so an uncovered field is a counter the daemon maintains
+    # but never reports to clients.
+    serve_sf, serve = find_struct(files, "ServeStats")
+    if serve is not None and serve_rows:
+        vfields = {f: t for f, t in
+                   class_fields(serve_sf.code, serve).items()
+                   if t.replace("const", "").strip() in NUMERIC_TYPES}
+        vcount = {f: 0 for f in vfields}
+        for _name, refs, _pos in serve_rows:
+            primary = len(refs) == 1
+            for ref in refs:
+                if ref in vcount and primary:
+                    vcount[ref] += 1
+        for field, cnt in sorted(vcount.items()):
+            if cnt == 0:
+                emit(findings, serve_sf, "metric-row-coverage",
+                     serve.start,
+                     f"ServeStats field '{field}' has no primary "
+                     f"serveMetrics() row — the stats frame never "
+                     f"reports it")
+            elif cnt > 1:
+                emit(findings, serve_sf, "metric-row-coverage",
+                     serve.start,
+                     f"ServeStats field '{field}' is exported by "
+                     f"{cnt} primary serveMetrics() rows; exactly one")
+        for name, refs, pos in serve_rows:
+            for ref in refs:
+                if ref.split(".")[0] not in vfields:
+                    emit(findings, metrics_sf, "metric-row-coverage",
+                         pos,
+                         f"serveMetrics() row '{name}' reads '{ref}', "
+                         f"which is not a ServeStats field — stale "
                          f"row")
 
 
@@ -1017,7 +1056,8 @@ RULE_IDS = [
      "Order-dependent float accumulation in a parallel worker"),
     ("stats-counter-dead", "Stats counter declared but never written"),
     ("metric-row-coverage",
-     "RunResult/SweepStats field vs metric-table row mismatch"),
+     "RunResult/SweepStats/ServeStats field vs metric-table row "
+     "mismatch"),
     ("no-raw-assert", "Raw assert() instead of lbp_assert"),
     ("no-raw-random", "Unseeded libc/std randomness"),
     ("no-raw-time", "Wall-clock access outside Stopwatch"),
@@ -1104,7 +1144,8 @@ FIXTURE_EXPECT = {
     "clean_determinism.cc": {},
     "bad_counters.hh": {"stats-counter-dead": 1},
     "runner.hh": {"metric-row-coverage": 2},
-    "metrics.cc": {"metric-row-coverage": 2},
+    "metrics.cc": {"metric-row-coverage": 3},
+    "protocol.hh": {"metric-row-coverage": 1},
     "core.cc": {"no-hot-path-alloc": 2},
     "bad_calls.cc": {"no-raw-assert": 1, "no-raw-random": 1,
                      "no-raw-time": 1},

@@ -18,17 +18,20 @@ Rules (each finding is printed as ``rule:file:line: message``):
       a silently-dropped result at worst.
 
   obs-doc-comment
-      Every namespace-scope struct/class in an src/obs/ header must be
-      preceded by a doc comment (``///`` line or a ``*/`` block end).
-      The observability layer is the repo's public reporting surface —
-      docs/METRICS.md and docs/TRACING.md are generated against these
-      types, so an undocumented type is an undocumented export. The
-      sweep-observability headers (src/sim/sweep.hh,
-      src/sim/result_store.hh), the runner surface (src/sim/runner.hh)
-      and the public src/common containers (ring_queue.hh,
-      event_wheel.hh, sat_counter.hh, set_assoc.hh) are part of the
-      same surface and are held to the same rule; for class templates
-      the doc comment sits above the ``template <...>`` introducer.
+      Every namespace-scope struct/class in an src/obs/ or src/serve/
+      header must be preceded by a doc comment (``///`` line or a
+      ``*/`` block end). The observability layer is the repo's public
+      reporting surface — docs/METRICS.md and docs/TRACING.md are
+      generated against these types — and the serve headers are the
+      daemon's public protocol surface, which docs/SERVER.md is
+      written against, so an undocumented type is an undocumented
+      export. The sweep-observability headers (src/sim/sweep.hh,
+      src/sim/result_store.hh), the runner surface (src/sim/runner.hh),
+      the wire-format helpers (common/jsonl.hh, common/socket.hh) and
+      the public src/common containers (ring_queue.hh, event_wheel.hh,
+      sat_counter.hh, set_assoc.hh) are part of the same surface and
+      are held to the same rule; for class templates the doc comment
+      sits above the ``template <...>`` introducer.
 
   include-guard / no-parent-include
       Headers guard with LBP_<DIR>_<FILE>_HH matching their path, and
@@ -229,6 +232,7 @@ OBS_DOC_EXTRA_HEADERS = (
     "sim/sweep.hh", "sim/result_store.hh", "sim/runner.hh",
     "common/ring_queue.hh", "common/event_wheel.hh",
     "common/sat_counter.hh", "common/set_assoc.hh",
+    "common/jsonl.hh", "common/socket.hh",
 )
 
 
@@ -236,7 +240,10 @@ def check_obs_doc_comments(path, raw, stripped, findings):
     posix = str(path).replace("\\", "/")
     if path.suffix not in {".hh", ".hpp", ".h"}:
         return
-    if "/obs/" not in posix and \
+    # src/serve/ headers are the daemon's public protocol surface —
+    # docs/SERVER.md and docs/METRICS.md are written against them, so
+    # they are held to the same doc-comment bar as src/obs/.
+    if "/obs/" not in posix and "/serve/" not in posix and \
             not posix.endswith(OBS_DOC_EXTRA_HEADERS):
         return
     # Namespace braces do not open a nesting scope for this rule: types
@@ -355,6 +362,7 @@ def self_test(repo_root):
         "bad_obs.hh": {"obs-doc-comment"},
         "sweep.hh": {"obs-doc-comment"},
         "ring_queue.hh": {"obs-doc-comment"},
+        "bad_serve.hh": {"obs-doc-comment"},
     }
     ok = True
     for name, rules in expect.items():
@@ -395,6 +403,16 @@ def self_test(repo_root):
         print(f"lbp_lint self-test: common/ring_queue.hh should "
               f"trigger exactly 1 obs-doc-comment finding, got "
               f"{[(f.rule, f.line) for f in ring_fix]}")
+        ok = False
+    # serve/bad_serve.hh exercises the serve-directory extension:
+    # exactly one seeded undocumented type, everything else quiet.
+    serve_fix = [f for f in findings
+                 if Path(f.path).name == "bad_serve.hh"]
+    if not (len(serve_fix) == 1
+            and serve_fix[0].rule == "obs-doc-comment"):
+        print(f"lbp_lint self-test: serve/bad_serve.hh should "
+              f"trigger exactly 1 obs-doc-comment finding, got "
+              f"{[(f.rule, f.line) for f in serve_fix]}")
         ok = False
     for name in ("clean.hh", "reporting.cc"):
         extra = by_file.get(name, set())

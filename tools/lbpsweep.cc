@@ -6,14 +6,18 @@
  * declarative spec file) over one suite as a concurrent cell queue
  * with the persistent result store, the JSON-lines event log, a live
  * progress/ETA line, and a final manifest + results CSV. Also hosts
- * the Figure-8 port-sensitivity analysis over squash forensics. Spec
- * format, store layout and manifest schema: docs/SWEEP.md.
+ * the Figure-8 port-sensitivity analysis over squash forensics. With
+ * --server it becomes a thin lbp-serve-v1 client: the sweep runs
+ * inside a resident lbpserved (docs/SERVER.md) and the CSV, manifest
+ * and event log come back byte-identical to a local run. Spec format,
+ * store layout and manifest schema: docs/SWEEP.md.
  *
  *   lbpsweep --suite 8 --store .result-store --manifest manifest.json
  *   lbpsweep --spec sweep.spec --csv results.csv --event-log sweep.jsonl
+ *   lbpsweep --server 127.0.0.1:7737 --csv results.csv
  *   lbpsweep --suite 8 --port-analysis ports.csv
  *
- * Exit codes: 0 ok, 1 bad usage or unwritable output.
+ * Exit codes: 0 ok, 1 bad usage, unwritable output or server failure.
  */
 
 #include <cstdio>
@@ -28,10 +32,12 @@
 #include "common/telemetry.hh"
 #include "common/thread_pool.hh"
 #include "obs/port_analysis.hh"
+#include "serve/client.hh"
 #include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "sim/suite_cache.hh"
 #include "sim/sweep.hh"
+#include "sim/sweep_spec.hh"
 #include "workload/suite.hh"
 
 using namespace lbp;
@@ -47,10 +53,12 @@ struct Options
     std::uint64_t instrs = 60000;
     unsigned jobs = 0;
     std::string storeDir;     ///< persistent store (REPRO_RESULT_STORE)
+    bool storeFromFlag = false;  ///< --store given explicitly
     std::string eventLogPath;
     std::string manifestPath;
     std::string csvPath;
     std::string portAnalysisPath;
+    std::string server;       ///< host:port of a resident lbpserved
     bool quiet = false;       ///< suppress the live progress line
 };
 
@@ -77,6 +85,8 @@ constexpr OptSpec kOptions[] = {
     {"--csv", "<path>", "write per-run results CSV"},
     {"--port-analysis", "<path>", "write the Figure-8 repair-port "
      "sensitivity CSV (runs a forensics pass)"},
+    {"--server", "<host:port>", "run the sweep on a resident lbpserved "
+     "instead of locally (docs/SERVER.md)"},
     {"--quiet", nullptr, "suppress the live progress line"},
 };
 
@@ -92,175 +102,11 @@ usage()
     }
 }
 
-/** Scheme-name -> RepairKind mapping shared with the spec parser. */
-bool
-schemeKind(const std::string &s, RepairKind &kind)
-{
-    const struct
-    {
-        const char *name;
-        RepairKind k;
-    } names[] = {
-        {"perfect", RepairKind::Perfect},
-        {"no-repair", RepairKind::NoRepair},
-        {"retire-update", RepairKind::RetireUpdate},
-        {"backward-walk", RepairKind::BackwardWalk},
-        {"snapshot", RepairKind::Snapshot},
-        {"forward-walk", RepairKind::ForwardWalk},
-        {"limited-pc", RepairKind::LimitedPc},
-        {"multi-stage", RepairKind::MultiStage},
-        {"future-file", RepairKind::FutureFile},
-    };
-    for (const auto &n : names) {
-        if (s == n.name) {
-            kind = n.k;
-            return true;
-        }
-    }
-    return false;
-}
-
 [[noreturn]] void
 die(const std::string &msg)
 {
     std::fprintf(stderr, "lbpsweep: %s\n", msg.c_str());
     std::exit(1);
-}
-
-/**
- * Parse one spec "config" line: scheme name followed by optional
- * ports=M-N-P, loop=64|128|256, tage=7|9|57, limited-m=M, coalesce,
- * name=<id> modifiers.
- */
-SweepConfig
-parseConfigLine(std::istringstream &ls, const Options &opt)
-{
-    std::string scheme;
-    if (!(ls >> scheme))
-        die("spec: 'config' needs a scheme name");
-
-    SweepConfig sc;
-    sc.name = scheme;
-    sc.cfg.warmupInstrs = opt.warmup;
-    sc.cfg.measureInstrs = opt.instrs;
-    if (scheme != "baseline") {
-        RepairKind kind;
-        if (!schemeKind(scheme, kind))
-            die("spec: unknown scheme '" + scheme + "'");
-        sc.cfg.useLocal = true;
-        sc.cfg.repair.kind = kind;
-    }
-
-    std::string tok;
-    while (ls >> tok) {
-        if (tok == "coalesce") {
-            sc.cfg.repair.coalesce = true;
-            continue;
-        }
-        const std::size_t eq = tok.find('=');
-        if (eq == std::string::npos)
-            die("spec: bad config modifier '" + tok + "'");
-        const std::string k = tok.substr(0, eq);
-        const std::string v = tok.substr(eq + 1);
-        if (k == "name") {
-            sc.name = v;
-        } else if (k == "ports") {
-            unsigned m = 0, n = 0, p = 0;
-            if (std::sscanf(v.c_str(), "%u-%u-%u", &m, &n, &p) != 3)
-                die("spec: ports wants M-N-P");
-            sc.cfg.repair.ports = {m, n, p};
-        } else if (k == "loop") {
-            if (v == "64")
-                sc.cfg.repair.loop = LoopConfig::entries64();
-            else if (v == "128")
-                sc.cfg.repair.loop = LoopConfig::entries128();
-            else if (v == "256")
-                sc.cfg.repair.loop = LoopConfig::entries256();
-            else
-                die("spec: loop must be 64, 128 or 256");
-        } else if (k == "tage") {
-            if (v == "7")
-                sc.cfg.tage = TageConfig::kb7();
-            else if (v == "9")
-                sc.cfg.tage = TageConfig::kb9();
-            else if (v == "57")
-                sc.cfg.tage = TageConfig::kb57();
-            else
-                die("spec: tage must be 7, 9 or 57");
-        } else if (k == "limited-m") {
-            sc.cfg.repair.limitedM =
-                static_cast<unsigned>(std::atoi(v.c_str()));
-        } else {
-            die("spec: unknown config key '" + k + "'");
-        }
-    }
-    return sc;
-}
-
-/**
- * Read a sweep spec: '#' comments, blank lines, and
- * `suite N|all` / `warmup N` / `instr N` / `config <scheme> [mods]`
- * directives. suite/warmup/instr override the command line; config
- * lines replace the default figure set.
- */
-std::vector<SweepConfig>
-parseSpec(const std::string &path, Options &opt)
-{
-    std::ifstream in(path);
-    if (!in)
-        die("cannot read spec " + path);
-    std::vector<SweepConfig> configs;
-    std::string line;
-    while (std::getline(in, line)) {
-        const std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        std::istringstream ls(line);
-        std::string word;
-        if (!(ls >> word))
-            continue;
-        if (word == "suite") {
-            std::string v;
-            ls >> v;
-            if (v == "all") {
-                opt.fullSuite = true;
-                opt.suite = 0;
-            } else {
-                opt.suite = static_cast<unsigned>(std::atoi(v.c_str()));
-            }
-        } else if (word == "warmup") {
-            ls >> opt.warmup;
-        } else if (word == "instr") {
-            ls >> opt.instrs;
-        } else if (word == "config") {
-            configs.push_back(parseConfigLine(ls, opt));
-        } else {
-            die("spec: unknown directive '" + word + "'");
-        }
-    }
-    return configs;
-}
-
-/** The default sweep: every figure configuration at CBPw-Loop128. */
-std::vector<SweepConfig>
-defaultConfigs(const Options &opt)
-{
-    const char *schemes[] = {
-        "baseline",      "perfect",      "no-repair",
-        "retire-update", "backward-walk", "snapshot",
-        "forward-walk",  "forward-walk+merge", "limited-pc",
-        "multi-stage",   "future-file",
-    };
-    std::vector<SweepConfig> configs;
-    for (const char *s : schemes) {
-        std::string scheme = s;
-        const bool merge = scheme == "forward-walk+merge";
-        std::istringstream mods(merge ? "forward-walk coalesce "
-                                        "name=forward-walk+merge"
-                                      : scheme);
-        configs.push_back(parseConfigLine(mods, opt));
-    }
-    return configs;
 }
 
 bool
@@ -305,6 +151,7 @@ parseOptions(int argc, char **argv, Options &opt)
             opt.jobs = static_cast<unsigned>(std::atoi(v));
         } else if (flag == "--store") {
             opt.storeDir = v;
+            opt.storeFromFlag = true;
         } else if (flag == "--event-log") {
             opt.eventLogPath = v;
         } else if (flag == "--manifest") {
@@ -313,6 +160,8 @@ parseOptions(int argc, char **argv, Options &opt)
             opt.csvPath = v;
         } else if (flag == "--port-analysis") {
             opt.portAnalysisPath = v;
+        } else if (flag == "--server") {
+            opt.server = v;
         } else if (flag == "--quiet") {
             opt.quiet = true;
         }
@@ -369,6 +218,113 @@ runPortAnalysis(const std::vector<Program> &suite, const Options &opt)
                 opt.portAnalysisPath.c_str());
 }
 
+/** "store_hit" -> "store hit" for the summary table. */
+std::string
+tableOutcome(std::string s)
+{
+    for (char &c : s)
+        if (c == '_')
+            c = ' ';
+    return s;
+}
+
+/**
+ * Thin-client mode: the sweep runs inside a resident lbpserved; the
+ * CLI flags and raw spec text ride in the submit frame so the server
+ * resolves the request exactly as a local run would, and the summary,
+ * CSV and manifest below come back byte-identical to local output.
+ */
+int
+runServerMode(const Options &opt, const SweepSpec &spec,
+              const std::string &specText,
+              const std::vector<Program> &suite)
+{
+    if (!opt.portAnalysisPath.empty())
+        die("--port-analysis runs locally; drop --server");
+    if (opt.storeFromFlag)
+        die("--store is server-side in --server mode (lbpserved "
+            "--store)");
+    if (opt.jobs)
+        std::fprintf(stderr,
+                     "lbpsweep: note: --jobs is server-side in "
+                     "--server mode; ignoring\n");
+
+    ServeClientOptions copts;
+    const std::size_t colon = opt.server.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= opt.server.size())
+        die("--server wants host:port");
+    copts.host = opt.server.substr(0, colon);
+    copts.port = static_cast<std::uint16_t>(
+        std::atoi(opt.server.c_str() + colon + 1));
+    copts.specText = specText;
+    copts.suite = opt.suite;
+    copts.fullSuite = opt.fullSuite;
+    copts.warmupInstrs = opt.warmup;
+    copts.measureInstrs = opt.instrs;
+    copts.progress = opt.quiet ? nullptr : stderr;
+
+    std::ofstream eventLog;
+    if (!opt.eventLogPath.empty()) {
+        eventLog.open(opt.eventLogPath, std::ios::app);
+        if (!eventLog)
+            die("cannot write " + opt.eventLogPath);
+        copts.eventLog = &eventLog;
+    }
+
+    std::printf("sweeping %zu configs x %zu workloads (%llu warm-up + "
+                "%llu measured instrs each, server=%s)\n",
+                spec.configs.size(), suite.size(),
+                static_cast<unsigned long long>(spec.warmupInstrs),
+                static_cast<unsigned long long>(spec.measureInstrs),
+                opt.server.c_str());
+
+    ServeSweepResult res;
+    std::string error;
+    if (!runServeSweep(copts, res, error))
+        die(error);
+    if (res.dedup)
+        std::printf("request coalesced with an identical in-flight "
+                    "sweep on the server\n");
+
+    TextTable table({"config", "label", "outcome", "wall_s"});
+    for (const auto &c : res.configs) {
+        char wallBuf[32];
+        std::snprintf(wallBuf, sizeof(wallBuf), "%.2f", c.wallSeconds);
+        table.addRow({c.name, c.label, tableOutcome(c.outcome),
+                      wallBuf});
+    }
+    std::printf("%s", table.render().c_str());
+
+    const auto u64 = [&res](const char *name) {
+        return static_cast<unsigned long long>(res.counter(name));
+    };
+    std::printf("cells: %llu total = %llu simulated + %llu store hits "
+                "+ %llu cache hits\n",
+                u64("sweep_cells_total"), u64("sweep_cells_simulated"),
+                u64("sweep_cells_store_hit"),
+                u64("sweep_cells_cache_hit"));
+    if (u64("store_hits") || u64("store_misses") || u64("store_writes"))
+        std::printf("store: %llu hits, %llu misses (%llu stale), "
+                    "%llu writes -> server\n",
+                    u64("store_hits"), u64("store_misses"),
+                    u64("store_stale"), u64("store_writes"));
+    std::printf("wall %.2fs (%.2f Minstr/s)\n",
+                res.counter("sweep_wall_s"),
+                res.counter("sweep_minstr_per_s"));
+
+    if (!opt.manifestPath.empty()) {
+        std::ofstream out = openOrDie(opt.manifestPath);
+        out << res.manifest;
+        std::printf("wrote manifest to %s\n", opt.manifestPath.c_str());
+    }
+    if (!opt.csvPath.empty()) {
+        std::ofstream out = openOrDie(opt.csvPath);
+        out << res.csv;
+        std::printf("wrote results CSV to %s\n", opt.csvPath.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -380,21 +336,37 @@ main(int argc, char **argv)
     if (!parseOptions(argc, argv, opt))
         return 1;
 
-    std::vector<SweepConfig> configs;
-    if (!opt.specPath.empty())
-        configs = parseSpec(opt.specPath, opt);
-    if (configs.empty())
-        configs = defaultConfigs(opt);
+    // Resolve the request through the shared spec grammar
+    // (sim/sweep_spec.hh) — the same code path a server submit takes.
+    SweepSpec spec;
+    spec.suite = opt.suite;
+    spec.fullSuite = opt.fullSuite;
+    spec.warmupInstrs = opt.warmup;
+    spec.measureInstrs = opt.instrs;
+    std::string specText;
+    if (!opt.specPath.empty()) {
+        std::ifstream in(opt.specPath);
+        if (!in)
+            die("cannot read spec " + opt.specPath);
+        std::ostringstream raw;
+        raw << in.rdbuf();
+        specText = raw.str();
+        std::string err;
+        if (!parseSweepSpecText(specText, spec, err))
+            die(err);
+    }
+    finalizeSweepSpec(spec);
+    const std::vector<Program> suite = buildSpecSuite(spec);
+    const std::vector<SweepConfig> &configs = spec.configs;
 
-    SuiteOptions sopts;
-    sopts.maxWorkloads = opt.fullSuite ? 0 : opt.suite;
-    const std::vector<Program> suite = buildSuite(sopts);
+    if (!opt.server.empty())
+        return runServerMode(opt, spec, specText, suite);
 
     std::printf("sweeping %zu configs x %zu workloads (%llu warm-up + "
                 "%llu measured instrs each, jobs=%u)\n",
                 configs.size(), suite.size(),
-                static_cast<unsigned long long>(opt.warmup),
-                static_cast<unsigned long long>(opt.instrs),
+                static_cast<unsigned long long>(spec.warmupInstrs),
+                static_cast<unsigned long long>(spec.measureInstrs),
                 resolveJobs(opt.jobs));
 
     ResultStore store(opt.storeDir);

@@ -1,0 +1,31 @@
+// Fixture for the serve-directory extension of the obs-doc-comment
+// rule: src/serve/ headers are the daemon's public protocol surface.
+// Exactly ONE seeded violation (UndocumentedFrame); the documented
+// type, the forward declaration and the nested struct stay quiet.
+
+#ifndef LBP_SERVE_BAD_SERVE_HH
+#define LBP_SERVE_BAD_SERVE_HH
+
+namespace lbp {
+
+class ServerElsewhere;  // forward declaration: no body here
+
+/** Documented protocol record: must not fire. */
+struct GoodFrame
+{
+    int id = 0;
+
+    struct Nested  // class scope, not namespace scope: must not fire
+    {
+        int field = 0;
+    };
+};
+
+struct UndocumentedFrame
+{
+    int code = 0;
+};
+
+} // namespace lbp
+
+#endif // LBP_SERVE_BAD_SERVE_HH
