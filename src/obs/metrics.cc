@@ -2,8 +2,11 @@
 
 #include <ostream>
 
+#include <cstdio>
+
 #include "common/jsonl.hh"
 #include "serve/protocol.hh"
+#include "sim/result_store.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
 
@@ -430,6 +433,18 @@ serveMetrics()
         {"serve_drain_s", "seconds",
          "Drain request to clean exit (0 while serving)", false,
          [](const ServeStats &s) { return s.drainSeconds; }},
+        {"serve_scrapes", "count",
+         "Metrics expositions served (metrics frames + HTTP scrapes)",
+         true,
+         [](const ServeStats &s) { return u64Field(s.scrapesServed); }},
+        {"serve_heartbeats", "count",
+         "Heartbeat records emitted into the daemon event log", true,
+         [](const ServeStats &s) {
+             return u64Field(s.heartbeatsEmitted);
+         }},
+        {"serve_store_gc_passes", "count",
+         "Idle-time result-store garbage-collection passes", true,
+         [](const ServeStats &s) { return u64Field(s.gcPasses); }},
     };
     return table;
 }
@@ -443,6 +458,171 @@ registerServeMetrics(MetricsRegistry &reg, const ServeStats &s)
                         static_cast<std::uint64_t>(d.get(s)));
         else
             reg.gauge(d.name, d.unit, d.help, d.get(s));
+    }
+}
+
+const std::vector<StoreMetricDesc> &
+storeMetrics()
+{
+    // Store-lifecycle counter order — the manifest "store" section and
+    // the daemon scrape key on these exact names; append, never
+    // reorder. (The sweep table's store_* rows are per-sweep deltas;
+    // these are the store's own lifetime totals.)
+    static const std::vector<StoreMetricDesc> table = {
+        {"result_store_hits", "count",
+         "Store loads that returned a usable entry (lifetime)", true,
+         [](const StoreStats &s) { return u64Field(s.hits); }},
+        {"result_store_misses", "count",
+         "Store loads with no usable entry, stale included (lifetime)",
+         true, [](const StoreStats &s) { return u64Field(s.misses); }},
+        {"result_store_stale_deletes", "count",
+         "Stale entries (fingerprint/key mismatch) deleted on load",
+         true, [](const StoreStats &s) { return u64Field(s.stale); }},
+        {"result_store_writes", "count",
+         "Entries persisted to the store (lifetime)", true,
+         [](const StoreStats &s) { return u64Field(s.writes); }},
+        {"result_store_read_bytes", "bytes",
+         "Bytes deserialized by successful store loads", true,
+         [](const StoreStats &s) { return u64Field(s.bytesRead); }},
+        {"result_store_written_bytes", "bytes",
+         "Bytes serialized by store writes", true,
+         [](const StoreStats &s) { return u64Field(s.bytesWritten); }},
+        {"result_store_gc_evicted", "count",
+         "Entries removed by garbage-collection passes (age/size cap)",
+         true,
+         [](const StoreStats &s) { return u64Field(s.gcEvicted); }},
+        {"result_store_gc_evicted_bytes", "bytes",
+         "Bytes reclaimed by garbage-collection passes", true,
+         [](const StoreStats &s) {
+             return u64Field(s.gcEvictedBytes);
+         }},
+    };
+    return table;
+}
+
+void
+registerStoreMetrics(MetricsRegistry &reg, const StoreStats &s)
+{
+    for (const StoreMetricDesc &d : storeMetrics()) {
+        if (d.integral)
+            reg.counter(d.name, d.unit, d.help,
+                        static_cast<std::uint64_t>(d.get(s)));
+        else
+            reg.gauge(d.name, d.unit, d.help, d.get(s));
+    }
+}
+
+void
+RunAggregate::add(const RunResult &r)
+{
+    const std::vector<RunMetricDesc> &table = runMetrics();
+    if (sums_.size() < table.size())
+        sums_.resize(table.size(), 0.0);
+    for (std::size_t i = 0; i < table.size(); ++i)
+        sums_[i] += table[i].get(r);
+    ++runs_;
+}
+
+void
+RunAggregate::addTo(MetricsRegistry &reg) const
+{
+    const std::vector<RunMetricDesc> &table = runMetrics();
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        const RunMetricDesc &d = table[i];
+        const double sum = i < sums_.size() ? sums_[i] : 0.0;
+        if (d.integral)
+            reg.counter(d.name, d.unit, d.help,
+                        static_cast<std::uint64_t>(sum));
+        else
+            reg.gauge(d.name, d.unit, d.help,
+                      runs_ ? sum / static_cast<double>(runs_) : 0.0);
+    }
+}
+
+namespace {
+
+/** HELP-text escaping per the exposition format: backslash and
+ *  newline only (label values additionally escape '"'). */
+void
+promEscape(std::ostream &os, const std::string &s, bool label)
+{
+    for (const char c : s) {
+        if (c == '\\')
+            os << "\\\\";
+        else if (c == '\n')
+            os << "\\n";
+        else if (label && c == '"')
+            os << "\\\"";
+        else
+            os << c;
+    }
+}
+
+/** One sample value: counters as integers, gauges in full precision
+ *  (shortest round-trippable form, deterministic across renders). */
+void
+promValue(std::ostream &os, double value, bool integral)
+{
+    if (integral) {
+        os << static_cast<std::uint64_t>(value);
+    } else {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        os << buf;
+    }
+}
+
+void
+promHeader(std::ostream &os, const std::string &name,
+           const std::string &help, const char *type)
+{
+    os << "# HELP " << name << ' ';
+    promEscape(os, help, false);
+    os << '\n' << "# TYPE " << name << ' ' << type << '\n';
+}
+
+} // namespace
+
+void
+writePrometheus(std::ostream &os, const MetricsRegistry &reg)
+{
+    for (const Metric &m : reg.scalars()) {
+        promHeader(os, m.name, m.help, m.integral ? "counter" : "gauge");
+        os << m.name << ' ';
+        promValue(os, m.value, m.integral);
+        os << '\n';
+    }
+    for (const NamedHistogram &h : reg.histograms()) {
+        promHeader(os, h.name, h.help, "histogram");
+        // Buckets are cumulative in the exposition format; samples
+        // beyond 2^23 clamp into the last finite bucket (see
+        // FixedHistogram), so the last finite count equals _count.
+        std::uint64_t cum = 0;
+        for (unsigned b = 0; b < FixedHistogram::numBuckets; ++b) {
+            cum += h.hist.bucket(b);
+            os << h.name << "_bucket{le=\"" << (1ull << b) << "\"} "
+               << cum << '\n';
+        }
+        os << h.name << "_bucket{le=\"+Inf\"} " << h.hist.count()
+           << '\n';
+        os << h.name << "_sum " << h.hist.sum() << '\n';
+        os << h.name << "_count " << h.hist.count() << '\n';
+    }
+}
+
+void
+writePrometheusLabeled(
+    std::ostream &os, const char *family, const char *help,
+    const char *labelKey,
+    const std::vector<std::pair<std::string, std::uint64_t>> &samples)
+{
+    if (samples.empty())
+        return;
+    promHeader(os, family, help, "counter");
+    for (const auto &[label, value] : samples) {
+        os << family << '{' << labelKey << "=\"";
+        promEscape(os, label, true);
+        os << "\"} " << value << '\n';
     }
 }
 

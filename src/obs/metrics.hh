@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lbp {
@@ -29,6 +30,7 @@ namespace lbp {
 struct RunResult;
 struct SweepStats;
 struct ServeStats;
+struct StoreStats;
 
 /**
  * Power-of-two bucketed histogram with a fixed, compile-time bucket
@@ -216,6 +218,74 @@ const std::vector<ServeMetricDesc> &serveMetrics();
 
 /** Register every serveMetrics() entry of @p s into @p reg. */
 void registerServeMetrics(MetricsRegistry &reg, const ServeStats &s);
+
+/**
+ * Descriptor tying one exported result-store counter to its StoreStats
+ * field (sim/result_store.hh) — the fourth registry, covering store
+ * lifecycle (hits, misses, stale deletes, bytes moved, GC evictions).
+ * The table (storeMetrics()) names everything the sweep manifest's
+ * "store" section and the daemon scrape report about the persistent
+ * store, so they cannot drift from the struct.
+ */
+struct StoreMetricDesc
+{
+    const char *name;  ///< scrape / manifest counter name
+    const char *unit;
+    const char *help;
+    bool integral;               ///< counter (true) vs gauge (false)
+    double (*get)(const StoreStats &);  ///< field accessor
+};
+
+/** The store-counter table (append, never reorder). */
+const std::vector<StoreMetricDesc> &storeMetrics();
+
+/** Register every storeMetrics() entry of @p s into @p reg. */
+void registerStoreMetrics(MetricsRegistry &reg, const StoreStats &s);
+
+/**
+ * Table-driven aggregate over many RunResults — what a resident daemon
+ * exposes for the run layer, where individual results are transient.
+ * add() folds one run through the runMetrics() descriptors (so the
+ * aggregate can never name a metric the table does not); addTo()
+ * registers counters as lifetime sums and gauges as run-weighted
+ * means, under the table's own names.
+ */
+class RunAggregate
+{
+  public:
+    /** Fold one run's metrics into the aggregate. */
+    void add(const RunResult &r);
+
+    /** Runs folded in so far. */
+    std::uint64_t runs() const { return runs_; }
+
+    /** Register the aggregated runMetrics() rows into @p reg. */
+    void addTo(MetricsRegistry &reg) const;
+
+  private:
+    std::vector<double> sums_;
+    std::uint64_t runs_ = 0;
+};
+
+/**
+ * Render @p reg in the Prometheus text exposition format (one
+ * HELP/TYPE comment pair per family, counters as integers, gauges in
+ * full precision, FixedHistograms as cumulative `_bucket{le=...}`
+ * series with `_sum`/`_count`). Deterministic for a given registry:
+ * the scrape tests diff successive renders byte for byte.
+ */
+void writePrometheus(std::ostream &os, const MetricsRegistry &reg);
+
+/**
+ * Render one labeled counter family: a HELP/TYPE pair for @p family
+ * followed by `family{labelKey="value"} sample` lines in the given
+ * order, label values escaped per the exposition format. Used for the
+ * per-fingerprint result-store series, whose label set is dynamic.
+ */
+void writePrometheusLabeled(
+    std::ostream &os, const char *family, const char *help,
+    const char *labelKey,
+    const std::vector<std::pair<std::string, std::uint64_t>> &samples);
 
 } // namespace lbp
 

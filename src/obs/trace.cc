@@ -176,6 +176,26 @@ writeChromeTrace(std::ostream &os,
     os << "\n]\n";
 }
 
+void
+writeServiceTrace(std::ostream &os, const std::vector<ServiceSpan> &spans)
+{
+    // The daemon gets one synthetic process lane; request sequence
+    // numbers are the tids, so every request reads as one row whose
+    // queue/dedup/simulate/assemble phases tile it left to right.
+    os << "[\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":9000,"
+          "\"args\":{\"name\":\"lbpserved\"}}";
+    for (const ServiceSpan &s : spans) {
+        os << ",\n{\"name\":\"" << s.phase << "\",\"ph\":\"B\",\"pid\":"
+           << 9000 << ",\"tid\":" << s.request << ",\"ts\":" << s.beginUs
+           << ",\"cat\":\"service\",\"args\":{\"trace_id\":\""
+           << s.traceId << "\"}}";
+        os << ",\n{\"name\":\"" << s.phase << "\",\"ph\":\"E\",\"pid\":"
+           << 9000 << ",\"tid\":" << s.request
+           << ",\"ts\":" << std::max(s.endUs, s.beginUs) << '}';
+    }
+    os << "\n]\n";
+}
+
 // ---------------------------------------------------------------------
 // Konata pipeline log
 // ---------------------------------------------------------------------

@@ -235,6 +235,31 @@ void writeChromeTrace(std::ostream &os,
                       const std::vector<const ObsRun *> &runs);
 
 /**
+ * One service-side phase of a daemon request (queue wait, dedup join,
+ * simulate, assemble, deliver): the serve-layer analogue of a
+ * TraceRecord. Timestamps are microseconds on the daemon's own
+ * monotonic clock, so one file's spans share a timeline.
+ */
+struct ServiceSpan
+{
+    std::string traceId;      ///< request trace id (args.trace_id)
+    std::string phase;        ///< "queue" / "dedup" / "simulate" / ...
+    std::uint64_t request = 0;   ///< request sequence number (tid)
+    std::uint64_t beginUs = 0;   ///< span start, daemon-relative us
+    std::uint64_t endUs = 0;     ///< span end, daemon-relative us
+};
+
+/**
+ * Emit Chrome trace_event JSON for service spans, format-compatible
+ * with writeChromeTrace() output (same array shape, B/E pairs, one
+ * metadata record naming the daemon process) so a daemon timeline and
+ * a pipeline trace can be concatenated into one Perfetto view. Spans
+ * carry their trace_id in args for find-by-id.
+ */
+void writeServiceTrace(std::ostream &os,
+                       const std::vector<ServiceSpan> &spans);
+
+/**
  * Emit a Konata-compatible pipeline log ("Kanata\t0004" format) for one
  * run: per-instruction lanes with fetch/alloc/issue/retire stages, and
  * retirement/flush terminators. Open with the Konata viewer.

@@ -121,6 +121,10 @@ runServeSweep(const ServeClientOptions &opts, ServeSweepResult &out,
             os << opts.suite;
         os << ",\"warmup\":" << opts.warmupInstrs
            << ",\"instr\":" << opts.measureInstrs;
+        if (!opts.traceId.empty()) {
+            os << ",\"trace\":";
+            jsonEscape(os, opts.traceId);
+        }
         if (!opts.specText.empty()) {
             os << ",\"spec\":";
             jsonEscape(os, opts.specText);
@@ -157,6 +161,8 @@ runServeSweep(const ServeClientOptions &opts, ServeSweepResult &out,
                 out.cells = static_cast<std::uint64_t>(v->number());
             if (const JsonValue *v = msg.member("dedup"))
                 out.dedup = v->boolean();
+            if (const JsonValue *v = msg.member("trace_id"))
+                out.traceId = v->str();
             continue;
         }
         if (type == "event") {

@@ -51,6 +51,11 @@ struct ServeClientOptions
     /** Per-reply-line read timeout; covers the longest single gap
      *  between server frames, not the whole sweep. */
     double timeoutSeconds = 3600.0;
+
+    /** Client-chosen trace id sent with the submit; empty = let the
+     *  server mint one. Either way the accepted frame's trace_id is
+     *  reported back in ServeSweepResult::traceId. */
+    std::string traceId;
 };
 
 /** Everything a `result` frame carried, plus hello metadata. */
@@ -79,6 +84,10 @@ struct ServeSweepResult
     std::string serverFingerprint;  ///< server hello: build fingerprint
     std::string serverGitSha;       ///< server hello: git SHA
     unsigned serverJobs = 0;        ///< server hello: resolved workers
+
+    /** Server-assigned trace id (accepted frame); also embedded in the
+     *  manifest, correlating this run with the daemon's event log. */
+    std::string traceId;
 
     /** Counter by sweepMetrics() name; @p dflt when absent. */
     double counter(const std::string &name, double dflt = 0.0) const;

@@ -17,6 +17,8 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hh"
+
 namespace lbp {
 
 /** Protocol identifier exchanged in both hello frames. */
@@ -72,6 +74,25 @@ struct ServeStats
     std::uint64_t cellsStoreHit = 0;      ///< cells from the store
     std::uint64_t cellsCacheHit = 0;      ///< cells from the SuiteCache
     double drainSeconds = 0.0;  ///< drain request -> clean exit
+    std::uint64_t scrapesServed = 0;    ///< metrics frames + HTTP scrapes
+    std::uint64_t heartbeatsEmitted = 0;  ///< heartbeat event records
+    std::uint64_t gcPasses = 0;  ///< idle-time store gc() invocations
+};
+
+/**
+ * The daemon's service-latency and queue-depth distributions, scraped
+ * next to the counters (Prometheus histogram families in the
+ * exposition; docs/METRICS.md tables them). Sampled on the request
+ * path — microsecond-cheap FixedHistogram updates — and never fed back
+ * into scheduling, so serving behavior is identical with or without a
+ * scraper attached.
+ */
+struct ServeHistograms
+{
+    FixedHistogram queueWaitMs;      ///< submit accept -> dispatch
+    FixedHistogram executeMs;        ///< runSweep() wall per sweep
+    FixedHistogram requestTotalMs;   ///< submit accept -> result sent
+    FixedHistogram queueDepth;       ///< queued+running depth at submit
 };
 
 } // namespace lbp

@@ -21,6 +21,7 @@
 #include "common/telemetry.hh"
 #include "common/thread_pool.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/result_store.hh"
 #include "sim/suite_cache.hh"
 #include "sim/sweep.hh"
@@ -153,6 +154,13 @@ struct Server::Impl
         /** Subscribers as (client fd, request id) pairs. */
         std::vector<std::pair<int, std::string>> subs;
         Stopwatch age;        ///< time since acceptance
+
+        std::string traceId;       ///< request-scoped trace id
+        std::uint64_t seq = 0;     ///< request sequence (span tid)
+        std::uint64_t acceptUs = 0;    ///< accepted, daemon-relative
+        std::uint64_t dispatchUs = 0;  ///< handed to the executor
+        /** Accept times of dedup joins (spans end at delivery). */
+        std::vector<std::uint64_t> dedupJoinUs;
     };
     using ReqPtr = std::shared_ptr<Request>;
 
@@ -160,12 +168,15 @@ struct Server::Impl
     {
         SweepStats stats;
         std::string body;   ///< result-frame tail after the id field
+        /** Per-config results (cache-owned) for the run aggregate. */
+        std::vector<const SuiteResult *> configResults;
         bool failed = false;
         std::string error;
     };
 
     ServeOptions opts;
     TcpListener listener;
+    TcpListener metricsListener;  ///< HTTP scrape endpoint (optional)
     int wakeRead = -1;
     int wakeWrite = -1;
 
@@ -176,6 +187,15 @@ struct Server::Impl
     bool draining = false;
     Stopwatch drainSw;
     ServeStats st;
+
+    ServeHistograms hist;          ///< service-latency distributions
+    SweepStats sweepTotals;        ///< lifetime fold of executed sweeps
+    RunAggregate runAgg;           ///< lifetime fold of served runs
+    std::vector<ServiceSpan> spans;  ///< per-request Chrome-trace spans
+    std::uint64_t reqSeq = 0;      ///< request counter (trace minting)
+    Stopwatch upSw;                ///< daemon uptime / span clock
+    Stopwatch hbSw;                ///< time since the last heartbeat
+    Stopwatch gcSw;                ///< time since the last GC pass
 
     // Executor -> main-loop channel (guarded by chMu; the wake pipe
     // makes poll() notice).
@@ -212,6 +232,42 @@ struct Server::Impl
     pendingDepth() const
     {
         return queue.size() + (running ? 1 : 0);
+    }
+
+    /** Daemon-relative microseconds (the service-span clock). */
+    std::uint64_t
+    nowUs() const
+    {
+        return static_cast<std::uint64_t>(upSw.seconds() * 1e6);
+    }
+
+    static std::uint64_t
+    msBetween(std::uint64_t begin_us, std::uint64_t end_us)
+    {
+        return end_us > begin_us ? (end_us - begin_us) / 1000 : 0;
+    }
+
+    static void
+    foldSweepStats(SweepStats &into, const SweepStats &s)
+    {
+        into.cellsTotal += s.cellsTotal;
+        into.cellsSimulated += s.cellsSimulated;
+        into.cellsStoreHit += s.cellsStoreHit;
+        into.cellsCacheHit += s.cellsCacheHit;
+        into.storeHits += s.storeHits;
+        into.storeMisses += s.storeMisses;
+        into.storeStale += s.storeStale;
+        into.storeWrites += s.storeWrites;
+        into.simInstrs += s.simInstrs;
+        into.wallSeconds += s.wallSeconds;
+        into.cellWallSeconds += s.cellWallSeconds;
+    }
+
+    bool
+    gcEnabled() const
+    {
+        return opts.store && (opts.storeGc.maxAgeSeconds > 0.0 ||
+                              opts.storeGc.maxBytes > 0);
     }
 
     void
@@ -283,9 +339,11 @@ struct Server::Impl
             so.store = opts.store;
             so.cache = opts.cache;
             so.eventLog = &events;
+            so.traceId = req.traceId;
             const SweepResult res =
                 runSweep(req.suite, req.spec.configs, so);
             p.stats = res.stats;
+            p.configResults = res.configResults;
             p.body = renderResultBody(res, req.spec.configs);
         } catch (const std::exception &e) {
             p.failed = true;
@@ -460,8 +518,14 @@ struct Server::Impl
             return;
         running = queue.front();
         queue.pop_front();
+        running->dispatchUs = nowUs();
+        hist.queueWaitMs.sample(
+            msBetween(running->acceptUs, running->dispatchUs));
+        spans.push_back({running->traceId, "queue", running->seq,
+                         running->acceptUs, running->dispatchUs});
         ++st.sweepsExecuted;
-        serveEvent("{\"event\":\"sweep_begin\",\"cells\":" +
+        serveEvent("{\"event\":\"sweep_begin\",\"trace\":" +
+                   jsonQuote(running->traceId) + ",\"cells\":" +
                    std::to_string(running->cells) +
                    ",\"subscribers\":" +
                    std::to_string(running->subs.size()) + "}");
@@ -495,9 +559,19 @@ struct Server::Impl
         running.reset();
         if (!req)
             return;
+        const std::uint64_t execDoneUs = nowUs();
         st.cellsSimulated += payload.stats.cellsSimulated;
         st.cellsStoreHit += payload.stats.cellsStoreHit;
         st.cellsCacheHit += payload.stats.cellsCacheHit;
+        if (!payload.failed) {
+            foldSweepStats(sweepTotals, payload.stats);
+            for (const SuiteResult *sr : payload.configResults) {
+                if (!sr)
+                    continue;
+                for (const RunResult &r : sr->runs)
+                    runAgg.add(r);
+            }
+        }
         for (const auto &sub : req->subs) {
             auto it = clients.find(sub.first);
             if (it == clients.end())
@@ -515,7 +589,19 @@ struct Server::Impl
             ++st.requestsCompleted;
             st.cellsServed += payload.stats.cellsTotal;
         }
-        serveEvent("{\"event\":\"sweep_end\",\"cells\":" +
+        const std::uint64_t deliveredUs = nowUs();
+        hist.executeMs.sample(msBetween(req->dispatchUs, execDoneUs));
+        hist.requestTotalMs.sample(
+            msBetween(req->acceptUs, deliveredUs));
+        spans.push_back({req->traceId, "simulate", req->seq,
+                         req->dispatchUs, execDoneUs});
+        spans.push_back({req->traceId, "assemble", req->seq,
+                         execDoneUs, deliveredUs});
+        for (const std::uint64_t joinUs : req->dedupJoinUs)
+            spans.push_back({req->traceId, "dedup", req->seq, joinUs,
+                             deliveredUs});
+        serveEvent("{\"event\":\"sweep_end\",\"trace\":" +
+                   jsonQuote(req->traceId) + ",\"cells\":" +
                    std::to_string(req->cells) + ",\"simulated\":" +
                    std::to_string(payload.stats.cellsSimulated) +
                    ",\"store_hit\":" +
@@ -585,6 +671,16 @@ struct Server::Impl
             sendRejected(c, id, ServeError::Draining,
                          "server is draining; no new submits");
             return;
+        }
+        std::string trace;
+        if (const JsonValue *v = msg.member("trace")) {
+            if (v->kind() != JsonValue::Kind::String) {
+                ++st.requestsRejected;
+                sendRejected(c, id, ServeError::BadRequest,
+                             "trace must be a string");
+                return;
+            }
+            trace = v->str();
         }
 
         SweepSpec spec;
@@ -666,11 +762,13 @@ struct Server::Impl
         }
         if (joined) {
             joined->subs.emplace_back(fd, id);
+            joined->dedupJoinUs.push_back(nowUs());
             ++st.requestsDeduped;
             ++st.requestsAccepted;
-            sendAccepted(c, id, cells, true);
+            sendAccepted(c, id, cells, true, joined->traceId);
             serveEvent("{\"event\":\"submit\",\"outcome\":\"dedup\","
-                       "\"cells\":" +
+                       "\"trace\":" +
+                       jsonQuote(joined->traceId) + ",\"cells\":" +
                        std::to_string(cells) + "}");
             return;
         }
@@ -707,24 +805,34 @@ struct Server::Impl
         req->suite = std::move(suite);
         req->cells = cells;
         req->subs.emplace_back(fd, id);
+        ++reqSeq;
+        req->seq = reqSeq;
+        req->traceId =
+            trace.empty() ? "srv-" + std::to_string(reqSeq) : trace;
+        req->acceptUs = nowUs();
         queue.push_back(req);
         ++st.requestsAccepted;
+        hist.queueDepth.sample(pendingDepth());
         if (depth + 1 > st.queueHighWater)
             st.queueHighWater = depth + 1;
-        sendAccepted(c, id, cells, false);
+        sendAccepted(c, id, cells, false, req->traceId);
         serveEvent("{\"event\":\"submit\",\"outcome\":\"accepted\","
-                   "\"cells\":" +
+                   "\"trace\":" +
+                   jsonQuote(req->traceId) + ",\"cells\":" +
                    std::to_string(cells) + ",\"queue_depth\":" +
                    std::to_string(pendingDepth()) + "}");
     }
 
     void
     sendAccepted(ClientState &c, const std::string &id,
-                 std::uint64_t cells, bool dedup)
+                 std::uint64_t cells, bool dedup,
+                 const std::string &trace)
     {
         std::ostringstream os;
         os << "{\"type\":\"accepted\",\"id\":";
         jsonEscape(os, id);
+        os << ",\"trace_id\":";
+        jsonEscape(os, trace);
         os << ",\"cells\":" << cells << ",\"dedup\":"
            << (dedup ? "true" : "false")
            << ",\"queue_depth\":" << pendingDepth() << "}\n";
@@ -738,6 +846,169 @@ struct Server::Impl
         registerServeMetrics(reg, st);
         sendTo(c, "{\"type\":\"stats\",\"counters\":" +
                       flatCounters(reg) + "}\n");
+    }
+
+    /**
+     * One Prometheus scrape of the whole service: all four descriptor
+     * tables (run aggregate, lifetime sweep totals, daemon counters,
+     * store counters), the service-latency histograms, and the
+     * per-fingerprint store series. Shared by the `metrics` frame and
+     * the HTTP endpoint, so both expose identical bytes.
+     */
+    std::string
+    renderExposition()
+    {
+        ++st.scrapesServed;
+        MetricsRegistry reg;
+        runAgg.addTo(reg);
+        registerSweepMetrics(reg, sweepTotals);
+        registerServeMetrics(reg, st);
+        if (opts.store)
+            registerStoreMetrics(reg, opts.store->stats());
+        reg.histogram("serve_queue_wait_ms", "ms",
+                      "submit accept to dispatch wait per request",
+                      hist.queueWaitMs);
+        reg.histogram("serve_execute_ms", "ms",
+                      "sweep execution wall time per executed sweep",
+                      hist.executeMs);
+        reg.histogram("serve_request_total_ms", "ms",
+                      "submit accept to result delivery per request",
+                      hist.requestTotalMs);
+        reg.histogram("serve_queue_depth", "requests",
+                      "queued+running depth sampled at each accept",
+                      hist.queueDepth);
+        std::ostringstream os;
+        writePrometheus(os, reg);
+        if (opts.store) {
+            const std::map<std::string, FingerprintStats> fps =
+                opts.store->fingerprintStats();
+            std::vector<std::pair<std::string, std::uint64_t>> hits,
+                misses, stale, bytes;
+            for (const auto &kv : fps) {
+                hits.emplace_back(kv.first, kv.second.hits);
+                misses.emplace_back(kv.first, kv.second.misses);
+                stale.emplace_back(kv.first, kv.second.stale);
+                bytes.emplace_back(kv.first, kv.second.bytes);
+            }
+            writePrometheusLabeled(
+                os, "result_store_fingerprint_hits",
+                "Store hits by build fingerprint.", "fingerprint",
+                hits);
+            writePrometheusLabeled(
+                os, "result_store_fingerprint_misses",
+                "Store misses by build fingerprint.", "fingerprint",
+                misses);
+            writePrometheusLabeled(
+                os, "result_store_fingerprint_stale",
+                "Stale evictions by the evicted entry's recorded "
+                "fingerprint.",
+                "fingerprint", stale);
+            writePrometheusLabeled(
+                os, "result_store_fingerprint_bytes",
+                "Bytes loaded plus persisted by build fingerprint.",
+                "fingerprint", bytes);
+        }
+        return os.str();
+    }
+
+    void
+    handleMetrics(ClientState &c)
+    {
+        std::ostringstream os;
+        os << "{\"type\":\"metrics\",\"exposition\":";
+        jsonEscape(os, renderExposition());
+        os << "}\n";
+        sendTo(c, os.str());
+    }
+
+    void
+    handleScrape()
+    {
+        TcpConn conn = metricsListener.acceptConn();
+        if (!conn.valid())
+            return;
+        // The response is the same whatever the request line says, but
+        // replying before the request arrives would close the socket
+        // with bytes in flight — the resulting RST can discard the
+        // response on the client side. Wait (briefly) for the request
+        // line, drain the rest, then answer (HTTP/1.0 with
+        // Connection: close — no keep-alive state to track).
+        std::string requestLine;
+        conn.readLine(requestLine, 1000);
+        conn.fillAvailable();
+        conn.sendAll("HTTP/1.0 200 OK\r\n"
+                     "Content-Type: text/plain; version=0.0.4\r\n"
+                     "Connection: close\r\n\r\n" +
+                     renderExposition());
+        conn.closeConn();
+    }
+
+    void
+    maybeHeartbeat()
+    {
+        if (opts.heartbeatSeconds <= 0.0 ||
+            hbSw.seconds() < opts.heartbeatSeconds)
+            return;
+        hbSw.reset();
+        ++st.heartbeatsEmitted;
+        std::ostringstream os;
+        os << "{\"event\":\"heartbeat\",\"uptime_s\":"
+           << jsonNumber(upSw.seconds())
+           << ",\"queue_depth\":" << queue.size()
+           << ",\"in_flight\":" << (running ? 1 : 0)
+           << ",\"clients\":" << clients.size()
+           << ",\"requests_completed\":" << st.requestsCompleted;
+        if (opts.store) {
+            const StoreStats ss = opts.store->stats();
+            const std::uint64_t looks = ss.hits + ss.misses;
+            os << ",\"store_hits\":" << ss.hits
+               << ",\"store_misses\":" << ss.misses
+               << ",\"store_hit_ratio\":"
+               << jsonNumber(looks ? static_cast<double>(ss.hits) /
+                                         static_cast<double>(looks)
+                                   : 0.0)
+               << ",\"store_written_bytes\":" << ss.bytesWritten;
+        }
+        os << '}';
+        serveEvent(os.str());
+    }
+
+    void
+    maybeGc()
+    {
+        if (!gcEnabled() || running || !queue.empty() ||
+            gcSw.seconds() < opts.gcIntervalSeconds)
+            return;
+        gcSw.reset();
+        ++st.gcPasses;
+        const std::vector<StoreAuditRecord> evicted =
+            opts.store->gc(opts.storeGc);
+        // The GC ran between sweeps, so its audit records belong to
+        // the daemon's event log, not to the next request's manifest —
+        // drain the store-side trail we just produced.
+        opts.store->takeAudit();
+        std::uint64_t bytes = 0;
+        for (const StoreAuditRecord &rec : evicted) {
+            bytes += rec.bytes;
+            std::ostringstream os;
+            os << "{\"event\":\"store_evict\",\"file\":";
+            jsonEscape(os, rec.file);
+            os << ",\"reason\":\"" << rec.reason
+               << "\",\"fingerprint\":";
+            jsonEscape(os, rec.fingerprint);
+            os << ",\"bytes\":" << rec.bytes
+               << ",\"age_s\":" << jsonNumber(rec.ageSeconds) << '}';
+            serveEvent(os.str());
+        }
+        serveEvent("{\"event\":\"store_gc\",\"evicted\":" +
+                   std::to_string(evicted.size()) + ",\"bytes\":" +
+                   std::to_string(bytes) + "}");
+        if (!evicted.empty()) {
+            std::ostringstream msg;
+            msg << "store gc evicted " << evicted.size()
+                << " entries (" << bytes << " bytes)";
+            log(msg.str());
+        }
     }
 
     void
@@ -767,6 +1038,8 @@ struct Server::Impl
             handleSubmit(fd, c, msg);
         } else if (type == "stats") {
             handleStats(c);
+        } else if (type == "metrics") {
+            handleMetrics(c);
         } else if (type == "drain") {
             beginDrain();
             sendTo(c, "{\"type\":\"draining\",\"pending\":" +
@@ -804,7 +1077,14 @@ struct Server::Impl
             error = "cannot create wake pipe";
             return false;
         }
-        return listener.listenOn(opts.host, opts.port, error);
+        if (!listener.listenOn(opts.host, opts.port, error))
+            return false;
+        if (opts.metricsPort >= 0 &&
+            !metricsListener.listenOn(
+                opts.host,
+                static_cast<std::uint16_t>(opts.metricsPort), error))
+            return false;
+        return true;
     }
 
     int
@@ -824,6 +1104,7 @@ struct Server::Impl
                    jsonQuote(buildFingerprint()) + ",\"port\":" +
                    std::to_string(listener.boundPort()) + "}");
 
+        const bool haveMetrics = metricsListener.fd() >= 0;
         while (true) {
             std::vector<pollfd> fds;
             std::vector<int> cfds;
@@ -832,6 +1113,11 @@ struct Server::Impl
                        static_cast<short>(POLLIN), 0});
             fds.push_back(
                 pollfd{wakeRead, static_cast<short>(POLLIN), 0});
+            const std::size_t mIdx = fds.size();
+            if (haveMetrics)
+                fds.push_back(pollfd{metricsListener.fd(),
+                                     static_cast<short>(POLLIN), 0});
+            const std::size_t cBase = fds.size();
             for (const auto &kv : clients) {
                 fds.push_back(
                     pollfd{kv.first, static_cast<short>(POLLIN), 0});
@@ -850,15 +1136,19 @@ struct Server::Impl
             drainChannel();
             if (rc > 0 && (fds[0].revents & POLLIN))
                 acceptClient();
+            if (rc > 0 && haveMetrics && (fds[mIdx].revents & POLLIN))
+                handleScrape();
             if (rc > 0) {
                 for (std::size_t i = 0; i < cfds.size(); ++i) {
-                    const short ev = fds[i + 2].revents;
+                    const short ev = fds[i + cBase].revents;
                     if (ev & (POLLIN | POLLHUP | POLLERR))
                         serviceClient(cfds[i]);
                 }
             }
             reapClients();
             expireQueued();
+            maybeHeartbeat();
+            maybeGc();
             maybeDispatch();
             if (draining && !running && queue.empty())
                 break;
@@ -876,31 +1166,49 @@ struct Server::Impl
                 << " sweeps";
             log(msg.str());
         }
+        if (opts.traceOut) {
+            writeServiceTrace(*opts.traceOut, spans);
+            opts.traceOut->flush();
+        }
         for (auto &kv : clients)
             kv.second.conn.closeConn();
         clients.clear();
         listener.closeListener();
+        metricsListener.closeListener();
         return 0;
     }
 
     int
     pollTimeoutMs() const
     {
-        if (queue.empty())
-            return -1;
-        double oldest = 0.0;
-        for (const ReqPtr &q : queue) {
-            const double a = q->age.seconds();
-            if (a > oldest)
-                oldest = a;
+        // Nearest deadline of the three timers (queue expiry,
+        // heartbeat, idle GC); -1 = sleep until a descriptor fires.
+        double best = -1.0;
+        const auto consider = [&best](double remain_s) {
+            double ms = remain_s * 1000.0 + 1.0;
+            if (ms < 0.0)
+                ms = 0.0;
+            if (best < 0.0 || ms < best)
+                best = ms;
+        };
+        if (!queue.empty()) {
+            double oldest = 0.0;
+            for (const ReqPtr &q : queue) {
+                const double a = q->age.seconds();
+                if (a > oldest)
+                    oldest = a;
+            }
+            consider(opts.queueTimeoutSeconds - oldest);
         }
-        double remain = opts.queueTimeoutSeconds - oldest;
-        if (remain < 0.0)
-            remain = 0.0;
-        double ms = remain * 1000.0 + 1.0;
-        if (ms > 60000.0)
-            ms = 60000.0;
-        return static_cast<int>(ms);
+        if (opts.heartbeatSeconds > 0.0)
+            consider(opts.heartbeatSeconds - hbSw.seconds());
+        if (gcEnabled() && !running && queue.empty())
+            consider(opts.gcIntervalSeconds - gcSw.seconds());
+        if (best < 0.0)
+            return -1;
+        if (best > 60000.0)
+            best = 60000.0;
+        return static_cast<int>(best);
     }
 };
 
@@ -920,6 +1228,14 @@ std::uint16_t
 Server::port() const
 {
     return impl_->listener.boundPort();
+}
+
+std::uint16_t
+Server::metricsPort() const
+{
+    return impl_->metricsListener.fd() >= 0
+               ? impl_->metricsListener.boundPort()
+               : 0;
 }
 
 int
@@ -942,6 +1258,12 @@ ServeStats
 Server::stats() const
 {
     return impl_->st;
+}
+
+ServeHistograms
+Server::histograms() const
+{
+    return impl_->hist;
 }
 
 } // namespace lbp

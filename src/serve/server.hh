@@ -28,10 +28,10 @@
 #include <string>
 
 #include "serve/protocol.hh"
+#include "sim/result_store.hh"
 
 namespace lbp {
 
-class ResultStore;
 class SuiteCache;
 
 /**
@@ -61,6 +61,29 @@ struct ServeOptions
     std::size_t maxQueue = 8;  ///< max requests queued or running
     std::uint64_t maxCells = 131072;  ///< max cells queued or running
     double queueTimeoutSeconds = 600.0;  ///< max wait in the queue
+
+    /**
+     * Plain-text Prometheus exposition endpoint (--metrics-port);
+     * -1 = off, 0 = kernel-assigned (read back via
+     * Server::metricsPort()). Bound on `host` next to the protocol
+     * port; every HTTP request receives one scrape of all four
+     * registries plus the service histograms, then the connection
+     * closes.
+     */
+    int metricsPort = -1;
+
+    /** Heartbeat record interval in the event log; 0 = off. */
+    double heartbeatSeconds = 0.0;
+
+    /** Store GC policy applied during idle time; zeroed = off. */
+    StoreGcPolicy storeGc;
+    /** Seconds between idle-time GC passes (with storeGc set). */
+    double gcIntervalSeconds = 60.0;
+
+    /** Chrome-trace sink for per-request service spans (queue wait /
+     *  dedup join / simulate / assemble), written at drain;
+     *  null = off. */
+    std::ostream *traceOut = nullptr;
 };
 
 /**
@@ -84,6 +107,10 @@ class Server
      *  start(). */
     std::uint16_t port() const;
 
+    /** Metrics endpoint port actually bound; 0 when the endpoint is
+     *  off. Valid after start(). */
+    std::uint16_t metricsPort() const;
+
     /**
      * Serve until a drain (requestDrain(), SIGTERM via a handler
      * calling it, or a client `drain` frame) completes. Returns 0 on
@@ -104,6 +131,12 @@ class Server
      * join the server task first).
      */
     ServeStats stats() const;
+
+    /**
+     * Service-latency histogram snapshot, same synchronization caveat
+     * as stats().
+     */
+    ServeHistograms histograms() const;
 
   private:
     struct Impl;

@@ -1,5 +1,7 @@
 #include "sim/result_store.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -83,6 +85,28 @@ stripTag(const std::string &line, const char *tag, std::string &rest)
         return false;
     rest = line.substr(n + 1);
     return true;
+}
+
+/** Fingerprint recorded in the entry at @p path ("unreadable" when the
+ *  header cannot be parsed) — attribution for eviction audits. */
+std::string
+readEntryFingerprint(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::string line, rest;
+    if (in && std::getline(in, line) && line == kMagic &&
+        std::getline(in, line) && stripTag(line, "fingerprint", rest))
+        return rest;
+    return "unreadable";
+}
+
+/** File size with errors collapsed to zero. */
+std::uint64_t
+fileBytes(const std::filesystem::path &path)
+{
+    std::error_code ec;
+    const std::uintmax_t sz = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(sz);
 }
 
 } // namespace
@@ -320,19 +344,36 @@ ResultStore::load(const std::string &suite_key,
     std::ifstream in(path);
     if (!in) {
         ++stats_.misses;
+        ++fps_[fp].misses;
         return nullptr;
     }
     auto res = deserializeSuiteResult(in, fp, suite_key, config_key);
     if (!res) {
         // Stale (old fingerprint / collision / truncation): the entry
-        // can never be used again under this build, so remove it.
+        // can never be used again under this build, so remove it —
+        // counted, attributed to the fingerprint it recorded, and
+        // logged on the audit trail (no more silent unlinks).
+        in.close();
+        StoreAuditRecord rec;
+        rec.file = path.filename().string();
+        rec.reason = "stale";
+        rec.fingerprint = readEntryFingerprint(path);
+        rec.bytes = fileBytes(path);
         ++stats_.stale;
         ++stats_.misses;
+        ++fps_[fp].misses;
+        ++fps_[rec.fingerprint].stale;
+        audit_.push_back(std::move(rec));
         std::error_code ec;
         std::filesystem::remove(path, ec);
         return nullptr;
     }
     ++stats_.hits;
+    const std::uint64_t bytes = fileBytes(path);
+    stats_.bytesRead += bytes;
+    FingerprintStats &fstat = fps_[fp];
+    ++fstat.hits;
+    fstat.bytes += bytes;
     return res;
 }
 
@@ -350,6 +391,9 @@ ResultStore::save(const std::string &suite_key,
     std::lock_guard<std::mutex> lk(mu_);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
+    std::ostringstream body;
+    serializeSuiteResult(body, fp, suite_key, config_key, res);
+    const std::string bytes = body.str();
     {
         std::ofstream out(tmp);
         if (!out) {
@@ -357,7 +401,8 @@ ResultStore::save(const std::string &suite_key,
                          .c_str());
             return false;
         }
-        serializeSuiteResult(out, fp, suite_key, config_key, res);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
         if (!out) {
             warnImpl(("result store: short write to " + tmp.string())
                          .c_str());
@@ -373,6 +418,8 @@ ResultStore::save(const std::string &suite_key,
         return false;
     }
     ++stats_.writes;
+    stats_.bytesWritten += bytes.size();
+    fps_[fp].bytes += bytes.size();
     return true;
 }
 
@@ -381,6 +428,96 @@ ResultStore::stats() const
 {
     std::lock_guard<std::mutex> lk(mu_);
     return stats_;
+}
+
+std::map<std::string, FingerprintStats>
+ResultStore::fingerprintStats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return fps_;
+}
+
+std::vector<StoreAuditRecord>
+ResultStore::takeAudit()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<StoreAuditRecord> out;
+    out.swap(audit_);
+    return out;
+}
+
+std::vector<StoreAuditRecord>
+ResultStore::gc(const StoreGcPolicy &policy)
+{
+    namespace fs = std::filesystem;
+    struct Entry
+    {
+        std::string name;
+        std::uint64_t bytes = 0;
+        double age = 0.0;
+    };
+    std::vector<Entry> entries;
+    std::error_code ec;
+    // Ages come from the filesystem's own clock so a mounted shared
+    // store is judged by its server's mtimes, not a local stopwatch.
+    const fs::file_time_type now = fs::file_time_type::clock::now();
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
+        std::error_code fec;
+        if (!de.is_regular_file(fec) || fec)
+            continue;
+        const fs::path &p = de.path();
+        if (p.extension() != ".result")
+            continue;
+        Entry e;
+        e.name = p.filename().string();
+        e.bytes = fileBytes(p);
+        const fs::file_time_type mtime = fs::last_write_time(p, fec);
+        if (!fec)
+            e.age = std::chrono::duration<double>(now - mtime).count();
+        entries.push_back(std::move(e));
+    }
+    // Deterministic eviction order: oldest first, file name breaking
+    // ties — two gc passes over the same tree pick the same victims.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.age != b.age)
+                      return a.age > b.age;
+                  return a.name < b.name;
+              });
+
+    std::uint64_t total = 0;
+    for (const Entry &e : entries)
+        total += e.bytes;
+
+    std::vector<StoreAuditRecord> evicted;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Entry &e : entries) {
+        const char *reason = nullptr;
+        if (policy.maxAgeSeconds > 0.0 && e.age > policy.maxAgeSeconds)
+            reason = "age";
+        else if (policy.maxBytes > 0 && total > policy.maxBytes)
+            reason = "size";
+        if (!reason)
+            continue;
+        const fs::path p = fs::path(dir_) / e.name;
+        StoreAuditRecord rec;
+        rec.file = e.name;
+        rec.reason = reason;
+        rec.fingerprint = readEntryFingerprint(p);
+        rec.bytes = e.bytes;
+        rec.ageSeconds = e.age;
+        fs::remove(p, ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        total -= e.bytes;
+        ++stats_.gcEvicted;
+        stats_.gcEvictedBytes += e.bytes;
+        audit_.push_back(rec);
+        evicted.push_back(std::move(rec));
+    }
+    return evicted;
 }
 
 } // namespace lbp

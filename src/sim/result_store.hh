@@ -28,9 +28,11 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "sim/runner.hh"
 
@@ -70,6 +72,64 @@ deserializeSuiteResult(std::istream &is, const std::string &fingerprint,
                        const std::string &config_key);
 
 /**
+ * Store-lifecycle counters, exported via storeMetrics() (the per-sweep
+ * deltas of the first four also flow into sweepMetrics()). Lifetime of
+ * one ResultStore instance — a resident daemon accumulates them across
+ * every sweep it executes.
+ */
+struct StoreStats
+{
+    std::uint64_t hits = 0;     ///< entries loaded from disk
+    std::uint64_t misses = 0;   ///< lookups with no usable entry
+    std::uint64_t stale = 0;    ///< entries invalidated and removed
+    std::uint64_t writes = 0;   ///< entries persisted
+    std::uint64_t bytesRead = 0;     ///< bytes of entries loaded
+    std::uint64_t bytesWritten = 0;  ///< bytes of entries persisted
+    std::uint64_t gcEvicted = 0;       ///< entries removed by gc()
+    std::uint64_t gcEvictedBytes = 0;  ///< bytes reclaimed by gc()
+};
+
+/**
+ * Per-build-fingerprint accounting: which build's entries are being
+ * hit, missed and invalidated. Hits/misses/writes accrue to the
+ * running build's fingerprint; stale deletes accrue to the fingerprint
+ * recorded in the evicted entry (or "unreadable"), so a scrape shows
+ * exactly whose leftovers a shared store is shedding.
+ */
+struct FingerprintStats
+{
+    std::uint64_t hits = 0;    ///< usable loads under this fingerprint
+    std::uint64_t misses = 0;  ///< lookups that found nothing usable
+    std::uint64_t stale = 0;   ///< entries of this fingerprint evicted
+    std::uint64_t bytes = 0;   ///< bytes loaded + persisted
+};
+
+/**
+ * One store eviction, for the audit trail: stale deletes on load and
+ * gc() removals both produce these. Sweeps forward them into the
+ * event log and manifest; the daemon streams them as event records.
+ */
+struct StoreAuditRecord
+{
+    std::string file;         ///< entry file name inside dir()
+    std::string reason;       ///< "stale" / "age" / "size"
+    std::string fingerprint;  ///< evicted entry's recorded fingerprint
+    std::uint64_t bytes = 0;  ///< file size at eviction
+    double ageSeconds = 0.0;  ///< mtime age when evicted (gc only)
+};
+
+/**
+ * Retention policy for ResultStore::gc(): entries older than
+ * maxAgeSeconds are evicted, then the oldest entries go until the
+ * store fits under maxBytes. Zero disables either limit.
+ */
+struct StoreGcPolicy
+{
+    double maxAgeSeconds = 0.0;  ///< evict entries older than this
+    std::uint64_t maxBytes = 0;  ///< then cap total store size
+};
+
+/**
  * On-disk store of completed SuiteResults, one file per
  * (fingerprint, suiteKey, configKey) entry. Thread-safe; the sweep
  * orchestrator shares one instance across its workers. The directory
@@ -78,14 +138,8 @@ deserializeSuiteResult(std::istream &is, const std::string &fingerprint,
 class ResultStore
 {
   public:
-    /** Hit/miss/staleness counters, exported via sweepMetrics(). */
-    struct StoreStats
-    {
-        std::uint64_t hits = 0;     ///< entries loaded from disk
-        std::uint64_t misses = 0;   ///< lookups with no usable entry
-        std::uint64_t stale = 0;    ///< entries invalidated and removed
-        std::uint64_t writes = 0;   ///< entries persisted
-    };
+    /** Historical nested-name spelling of the counters struct. */
+    using StoreStats = ::lbp::StoreStats;
 
     /** Open (without touching) the store rooted at @p dir. */
     explicit ResultStore(std::string dir);
@@ -108,6 +162,25 @@ class ResultStore
 
     StoreStats stats() const;
 
+    /** Per-fingerprint accounting snapshot (deterministic key order). */
+    std::map<std::string, FingerprintStats> fingerprintStats() const;
+
+    /**
+     * Drain the eviction audit trail accumulated since the last call
+     * (stale deletes and gc() removals, in occurrence order).
+     */
+    std::vector<StoreAuditRecord> takeAudit();
+
+    /**
+     * Garbage-collect by age then size cap (see StoreGcPolicy): scan
+     * the directory for *.result entries, evict everything older than
+     * the age limit, then evict oldest-first until the remainder fits
+     * under the byte cap. Deterministic order (age, then file name).
+     * Returns the evictions performed; the same records also join the
+     * audit trail and bump the gc counters.
+     */
+    std::vector<StoreAuditRecord> gc(const StoreGcPolicy &policy);
+
     /** Store directory as given at construction. */
     const std::string &dir() const { return dir_; }
 
@@ -124,6 +197,8 @@ class ResultStore
     std::string dir_;
     mutable std::mutex mu_;
     StoreStats stats_;
+    std::map<std::string, FingerprintStats> fps_;
+    std::vector<StoreAuditRecord> audit_;
 };
 
 } // namespace lbp

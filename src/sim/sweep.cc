@@ -44,11 +44,24 @@ cellMinstrPerSec(const SweepCell &cell)
     return static_cast<double>(cell.simInstrs) / 1e6 / cell.wallSeconds;
 }
 
+/** `,"trace":"<id>"` when a trace id is set; nothing otherwise, so
+ *  untraced (local) event logs keep their historical bytes. */
 void
-emitCellEvent(std::ostream &os, const SweepConfig &cfg,
-              const SweepCell &cell)
+emitTrace(std::ostream &os, const std::string &trace_id)
 {
-    os << "{\"event\":\"cell\",\"config\":";
+    if (trace_id.empty())
+        return;
+    os << ",\"trace\":";
+    jsonEscape(os, trace_id);
+}
+
+void
+emitCellEvent(std::ostream &os, const std::string &trace_id,
+              const SweepConfig &cfg, const SweepCell &cell)
+{
+    os << "{\"event\":\"cell\"";
+    emitTrace(os, trace_id);
+    os << ",\"config\":";
     jsonEscape(os, cfg.name);
     os << ",\"workload\":";
     jsonEscape(os, cell.workload);
@@ -59,16 +72,32 @@ emitCellEvent(std::ostream &os, const SweepConfig &cfg,
 }
 
 void
-emitConfigEvent(std::ostream &os, const SweepConfig &cfg,
-                const std::string &config_key, SweepCell::Outcome outcome,
-                double wallSeconds)
+emitConfigEvent(std::ostream &os, const std::string &trace_id,
+                const SweepConfig &cfg, const std::string &config_key,
+                SweepCell::Outcome outcome, double wallSeconds)
 {
-    os << "{\"event\":\"config\",\"config\":";
+    os << "{\"event\":\"config\"";
+    emitTrace(os, trace_id);
+    os << ",\"config\":";
     jsonEscape(os, cfg.name);
     os << ",\"key\":";
     jsonEscape(os, config_key);
     os << ",\"outcome\":\"" << outcomeName(outcome) << '"'
        << ",\"wall_s\":" << num(wallSeconds) << "}\n";
+}
+
+void
+emitEvictEvent(std::ostream &os, const std::string &trace_id,
+               const StoreAuditRecord &rec)
+{
+    os << "{\"event\":\"store_evict\"";
+    emitTrace(os, trace_id);
+    os << ",\"file\":";
+    jsonEscape(os, rec.file);
+    os << ",\"reason\":\"" << rec.reason << "\",\"fingerprint\":";
+    jsonEscape(os, rec.fingerprint);
+    os << ",\"bytes\":" << rec.bytes
+       << ",\"age_s\":" << num(rec.ageSeconds) << "}\n";
 }
 
 } // namespace
@@ -117,15 +146,20 @@ runSweep(const std::vector<Program> &suite,
     out.cells.resize(nc * nw);
     out.jobs = resolveJobs(opts.jobs);
     out.stats.cellsTotal = nc * nw;
+    out.traceId = opts.traceId;
+    out.storeUsed = opts.store != nullptr;
 
     const ResultStore::StoreStats storeBefore =
         opts.store ? opts.store->stats() : ResultStore::StoreStats{};
 
     Stopwatch sweepSw;
-    if (opts.eventLog)
-        *opts.eventLog << "{\"event\":\"sweep_start\",\"configs\":" << nc
+    if (opts.eventLog) {
+        *opts.eventLog << "{\"event\":\"sweep_start\"";
+        emitTrace(*opts.eventLog, opts.traceId);
+        *opts.eventLog << ",\"configs\":" << nc
                        << ",\"workloads\":" << nw
                        << ",\"cells\":" << nc * nw << "}\n";
+    }
 
     for (std::size_t c = 0; c < nc; ++c) {
         for (std::size_t w = 0; w < nw; ++w) {
@@ -174,10 +208,11 @@ runSweep(const std::vector<Program> &suite,
             SweepCell &cell = out.cells[c * nw + w];
             cell.outcome = outcome;
             if (opts.eventLog)
-                emitCellEvent(*opts.eventLog, configs[c], cell);
+                emitCellEvent(*opts.eventLog, opts.traceId, configs[c],
+                              cell);
         }
         if (opts.eventLog)
-            emitConfigEvent(*opts.eventLog, configs[c],
+            emitConfigEvent(*opts.eventLog, opts.traceId, configs[c],
                             out.configKeys[c], outcome, 0.0);
     }
 
@@ -223,7 +258,8 @@ runSweep(const std::vector<Program> &suite,
         out.stats.simInstrs += instrs;
         ++done;
         if (opts.eventLog)
-            emitCellEvent(*opts.eventLog, configs[task.c], cell);
+            emitCellEvent(*opts.eventLog, opts.traceId, configs[task.c],
+                          cell);
         if (opts.progress) {
             std::fprintf(opts.progress, "\r%s",
                          renderSweepProgress(done, out.stats.cellsTotal,
@@ -267,7 +303,7 @@ runSweep(const std::vector<Program> &suite,
         const std::string key = out.suiteKey + '\n' + out.configKeys[c];
         out.configResults[c] = &cache.insert(key, std::move(res));
         if (opts.eventLog)
-            emitConfigEvent(*opts.eventLog, configs[c],
+            emitConfigEvent(*opts.eventLog, opts.traceId, configs[c],
                             out.configKeys[c],
                             SweepCell::Outcome::Simulated, wall);
     }
@@ -278,6 +314,12 @@ runSweep(const std::vector<Program> &suite,
         out.stats.storeMisses = after.misses - storeBefore.misses;
         out.stats.storeStale = after.stale - storeBefore.stale;
         out.stats.storeWrites = after.writes - storeBefore.writes;
+        // Stale deletes the probes performed, for the manifest's audit
+        // trail and the event log — no more silent unlinks.
+        out.storeAudit = opts.store->takeAudit();
+        if (opts.eventLog)
+            for (const StoreAuditRecord &rec : out.storeAudit)
+                emitEvictEvent(*opts.eventLog, opts.traceId, rec);
     }
     out.stats.wallSeconds = sweepSw.seconds();
 
@@ -288,8 +330,9 @@ runSweep(const std::vector<Program> &suite,
                          .c_str());
     if (opts.eventLog) {
         const SweepStats &s = out.stats;
-        *opts.eventLog << "{\"event\":\"sweep_end\",\"cells_total\":"
-                       << s.cellsTotal
+        *opts.eventLog << "{\"event\":\"sweep_end\"";
+        emitTrace(*opts.eventLog, opts.traceId);
+        *opts.eventLog << ",\"cells_total\":" << s.cellsTotal
                        << ",\"cells_simulated\":" << s.cellsSimulated
                        << ",\"cells_store_hit\":" << s.cellsStoreHit
                        << ",\"cells_cache_hit\":" << s.cellsCacheHit
@@ -316,10 +359,32 @@ writeSweepManifest(std::ostream &os, const SweepResult &res,
     jsonEscape(os, buildFingerprint());
     os << ",\n  \"suite_key\": ";
     jsonEscape(os, res.suiteKey);
-    os << ",\n  \"jobs\": " << res.jobs << ",\n  \"counters\": ";
+    os << ",\n  \"jobs\": " << res.jobs;
+    if (!res.traceId.empty()) {
+        os << ",\n  \"trace_id\": ";
+        jsonEscape(os, res.traceId);
+    }
+    os << ",\n  \"counters\": ";
     MetricsRegistry reg;
     registerSweepMetrics(reg, res.stats);
     reg.writeJson(os);
+    if (res.storeUsed) {
+        // Store lifecycle this sweep observed: the stale-delete count
+        // plus the full eviction audit trail (empty when nothing was
+        // invalidated — warm and cold runs keep identical shapes).
+        os << "  ,\n  \"store\": {\"stale_deletes\": "
+           << res.stats.storeStale << ", \"evictions\": [";
+        for (std::size_t i = 0; i < res.storeAudit.size(); ++i) {
+            const StoreAuditRecord &rec = res.storeAudit[i];
+            os << (i ? "," : "") << "\n    {\"file\": ";
+            jsonEscape(os, rec.file);
+            os << ", \"reason\": \"" << rec.reason
+               << "\", \"fingerprint\": ";
+            jsonEscape(os, rec.fingerprint);
+            os << ", \"bytes\": " << rec.bytes << '}';
+        }
+        os << "]}";
+    }
     os << "  ,\n  \"configs\": [\n";
     for (std::size_t c = 0; c < nc; ++c) {
         double wall = 0.0;

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/result_store.hh"
 #include "sim/runner.hh"
 
 namespace lbp {
@@ -106,6 +107,15 @@ struct SweepOptions
 
     /** Live progress/ETA line sink (stderr in lbpsweep); null = off. */
     std::FILE *progress = nullptr;
+
+    /**
+     * Request-scoped trace id: when non-empty, every event record and
+     * the manifest carry it, correlating one service request with the
+     * cells it spawned (docs/SERVER.md "Scraping and tracing"). Empty
+     * (the local default) changes nothing — event logs and manifests
+     * stay byte-identical to pre-tracing runs.
+     */
+    std::string traceId;
 };
 
 /**
@@ -130,6 +140,17 @@ struct SweepResult
     std::vector<std::string> configKeys;
 
     unsigned jobs = 1;  ///< worker count the sweep resolved to
+
+    /** Trace id the sweep ran under (SweepOptions::traceId, verbatim). */
+    std::string traceId;
+
+    /** True when a persistent store was probed (manifest gains its
+     *  "store" section only then, keeping storeless runs unchanged). */
+    bool storeUsed = false;
+
+    /** Store evictions observed during this sweep (stale deletes),
+     *  in occurrence order — the manifest's eviction audit trail. */
+    std::vector<StoreAuditRecord> storeAudit;
 };
 
 /**

@@ -8,6 +8,9 @@
  * docs/SERVER.md (lbp-serve-v1).
  */
 
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,8 +20,10 @@
 #include "common/jsonl.hh"
 #include "common/socket.hh"
 #include "common/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "serve/client.hh"
 #include "serve/server.hh"
+#include "sim/result_store.hh"
 #include "sim/suite_cache.hh"
 #include "sim/sweep.hh"
 #include "sim/sweep_spec.hh"
@@ -91,6 +96,82 @@ bigSubmit(const std::string &id)
     return "{\"type\":\"submit\",\"id\":\"" + id +
            "\",\"suite\":2,\"warmup\":1000,\"instr\":200000,"
            "\"spec\":\"config forward-walk\"}\n";
+}
+
+/** Send a `metrics` frame and return the unescaped exposition text. */
+std::string
+scrape(TcpConn &conn)
+{
+    EXPECT_TRUE(conn.sendAll("{\"type\":\"metrics\"}\n"));
+    const JsonValue msg = readFrame(conn);
+    EXPECT_EQ(frameType(msg), "metrics");
+    const JsonValue *e = msg.member("exposition");
+    EXPECT_TRUE(e);
+    return e ? e->str() : std::string();
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Count unlabeled sample lines for @p name ("name value"). */
+std::size_t
+countSamples(const std::vector<std::string> &lines,
+             const std::string &name)
+{
+    const std::string prefix = name + ' ';
+    std::size_t n = 0;
+    for (const std::string &l : lines)
+        if (l.rfind(prefix, 0) == 0)
+            ++n;
+    return n;
+}
+
+/** Exposition-format histogram invariants: all 24 finite buckets
+ *  present and monotonically cumulative, the +Inf bucket and the top
+ *  finite bucket (samples clamp) both equal to _count. */
+void
+expectHistogramWellFormed(const std::vector<std::string> &lines,
+                          const std::string &name)
+{
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t inf = 0, count = 0;
+    bool haveInf = false, haveCount = false;
+    const std::string bucketPrefix = name + "_bucket{le=\"";
+    const std::string countPrefix = name + "_count ";
+    for (const std::string &l : lines) {
+        if (l.rfind(bucketPrefix, 0) == 0) {
+            const std::size_t sep = l.find("\"} ");
+            ASSERT_NE(sep, std::string::npos) << l;
+            const std::uint64_t v =
+                std::strtoull(l.c_str() + sep + 3, nullptr, 10);
+            if (l.compare(bucketPrefix.size(), 4, "+Inf") == 0) {
+                inf = v;
+                haveInf = true;
+            } else {
+                buckets.push_back(v);
+            }
+        } else if (l.rfind(countPrefix, 0) == 0) {
+            count = std::strtoull(l.c_str() + countPrefix.size(),
+                                  nullptr, 10);
+            haveCount = true;
+        }
+    }
+    ASSERT_TRUE(haveInf) << name;
+    ASSERT_TRUE(haveCount) << name;
+    ASSERT_EQ(buckets.size(), FixedHistogram::numBuckets) << name;
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+        EXPECT_GE(buckets[i], buckets[i - 1])
+            << name << " bucket " << i << " not cumulative";
+    EXPECT_EQ(inf, count) << name;
+    EXPECT_EQ(buckets.back(), count) << name;
 }
 
 } // namespace
@@ -289,4 +370,202 @@ TEST(Serve, ServerSweepByteIdenticalToLocal)
     server.requestDrain();
     pool.wait();
     EXPECT_EQ(rc, 0);
+}
+
+TEST(Serve, MetricsFrameCoversEveryRegistryRowExactlyOnce)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / "serve_scrape_store";
+    fs::remove_all(dir);
+    ResultStore store(dir.string());
+
+    SuiteCache cache;
+    ServeOptions sopts;
+    sopts.port = 0;
+    sopts.jobs = 2;
+    sopts.cache = &cache;
+    sopts.store = &store;
+    Server server(sopts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    ThreadPool pool(1);
+    int rc = -1;
+    pool.submit([&] { rc = server.run(); });
+
+    // One executed sweep gives every registry real traffic: run
+    // aggregates, sweep totals, serve counters, store writes.
+    ServeClientOptions copts;
+    copts.host = "127.0.0.1";
+    copts.port = server.port();
+    copts.suite = 2;
+    copts.warmupInstrs = 1000;
+    copts.measureInstrs = 2000;
+    ServeSweepResult res;
+    ASSERT_TRUE(runServeSweep(copts, res, err)) << err;
+
+    TcpConn conn = tcpConnect("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(conn.valid()) << err;
+    shakeHands(conn);
+    const std::string expo = scrape(conn);
+    conn.closeConn();
+
+    server.requestDrain();
+    pool.wait();
+    EXPECT_EQ(rc, 0);
+
+    // Every row of all four descriptor tables renders exactly one
+    // unlabeled sample — no missing rows, no duplicates, so scrape
+    // names cannot drift from the tables.
+    const std::vector<std::string> lines = splitLines(expo);
+    for (const RunMetricDesc &d : runMetrics())
+        EXPECT_EQ(countSamples(lines, d.name), 1u) << d.name;
+    for (const SweepMetricDesc &d : sweepMetrics())
+        EXPECT_EQ(countSamples(lines, d.name), 1u) << d.name;
+    for (const ServeMetricDesc &d : serveMetrics())
+        EXPECT_EQ(countSamples(lines, d.name), 1u) << d.name;
+    for (const StoreMetricDesc &d : storeMetrics())
+        EXPECT_EQ(countSamples(lines, d.name), 1u) << d.name;
+
+    for (const char *h : {"serve_queue_wait_ms", "serve_execute_ms",
+                          "serve_request_total_ms", "serve_queue_depth"})
+        expectHistogramWellFormed(lines, h);
+
+    // The cold sweep missed and then wrote fresh entries, so the
+    // per-fingerprint labeled families carry the live fingerprint.
+    EXPECT_GT(store.stats().writes, 0u);
+    EXPECT_NE(
+        expo.find("result_store_fingerprint_misses{fingerprint=\""),
+        std::string::npos);
+    EXPECT_NE(
+        expo.find("result_store_fingerprint_bytes{fingerprint=\""),
+        std::string::npos);
+}
+
+TEST(Serve, ScrapeDuringInFlightSweepParsesCleanly)
+{
+    SuiteCache cache;
+    ServeOptions sopts;
+    sopts.port = 0;
+    sopts.jobs = 2;
+    sopts.cache = &cache;
+    Server server(sopts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    ThreadPool pool(1);
+    int rc = -1;
+    pool.submit([&] { rc = server.run(); });
+
+    TcpConn a = tcpConnect("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(a.valid()) << err;
+    shakeHands(a);
+    ASSERT_TRUE(a.sendAll(bigSubmit("rs")));
+    const JsonValue acc = readFrame(a);
+    ASSERT_EQ(frameType(acc), "accepted");
+    ASSERT_TRUE(acc.member("trace_id"));
+    EXPECT_EQ(acc.member("trace_id")->str(), "srv-1");
+
+    // A second connection scrapes while that sweep is executing: the
+    // reply must be a complete, parseable exposition.
+    TcpConn b = tcpConnect("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(b.valid()) << err;
+    shakeHands(b);
+    const std::vector<std::string> lines = splitLines(scrape(b));
+    b.closeConn();
+    ASSERT_FALSE(lines.empty());
+    EXPECT_EQ(countSamples(lines, "serve_requests_received"), 1u);
+    EXPECT_EQ(countSamples(lines, "sweep_cells_total"), 1u);
+    for (const std::string &l : lines) {
+        if (l.empty() || l[0] == '#')
+            continue;
+        EXPECT_NE(l.find(' '), std::string::npos)
+            << "sample line without a value: " << l;
+    }
+
+    const JsonValue resp = awaitResult(a, "rs");
+    ASSERT_EQ(frameType(resp), "result");
+    a.closeConn();
+    server.requestDrain();
+    pool.wait();
+    EXPECT_EQ(rc, 0);
+
+    // The executed request landed one sample in each latency
+    // histogram (and one admission-time queue-depth sample).
+    const ServeHistograms hs = server.histograms();
+    EXPECT_EQ(hs.queueWaitMs.count(), 1u);
+    EXPECT_EQ(hs.executeMs.count(), 1u);
+    EXPECT_EQ(hs.requestTotalMs.count(), 1u);
+    EXPECT_EQ(hs.queueDepth.count(), 1u);
+    EXPECT_GE(server.stats().scrapesServed, 1u);
+}
+
+TEST(Serve, TraceIdPropagatesEndToEnd)
+{
+    SuiteCache cache;
+    std::ostringstream serverLog, traceOut;
+    ServeOptions sopts;
+    sopts.port = 0;
+    sopts.jobs = 2;
+    sopts.cache = &cache;
+    sopts.eventLog = &serverLog;
+    sopts.traceOut = &traceOut;
+    Server server(sopts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    ThreadPool pool(1);
+    int rc = -1;
+    pool.submit([&] { rc = server.run(); });
+
+    // Client-supplied trace id: echoed in the accepted frame, stamped
+    // on every mirrored sweep event, embedded in the manifest.
+    std::ostringstream clientLog;
+    ServeClientOptions copts;
+    copts.host = "127.0.0.1";
+    copts.port = server.port();
+    copts.suite = 2;
+    copts.warmupInstrs = 1000;
+    copts.measureInstrs = 2000;
+    copts.traceId = "trace-e2e";
+    copts.eventLog = &clientLog;
+    ServeSweepResult res;
+    ASSERT_TRUE(runServeSweep(copts, res, err)) << err;
+    EXPECT_EQ(res.traceId, "trace-e2e");
+    EXPECT_NE(res.manifest.find("\"trace_id\": \"trace-e2e\""),
+              std::string::npos);
+    const std::vector<std::string> clientLines =
+        splitLines(clientLog.str());
+    ASSERT_FALSE(clientLines.empty());
+    for (const std::string &l : clientLines)
+        EXPECT_NE(l.find("\"trace\":\"trace-e2e\""), std::string::npos)
+            << l;
+
+    // Identical request without a client trace: the server mints a
+    // deterministic id, and the payload bytes don't depend on tracing.
+    ServeClientOptions copts2 = copts;
+    copts2.traceId.clear();
+    copts2.eventLog = nullptr;
+    ServeSweepResult res2;
+    ASSERT_TRUE(runServeSweep(copts2, res2, err)) << err;
+    EXPECT_EQ(res2.traceId.rfind("srv-", 0), 0u);
+    EXPECT_EQ(res2.csv, res.csv);
+
+    server.requestDrain();
+    pool.wait();
+    EXPECT_EQ(rc, 0);
+
+    // Daemon side: event-log records and the Chrome-trace service
+    // spans carry the same id, completing the traversal.
+    EXPECT_NE(serverLog.str().find("\"trace\":\"trace-e2e\""),
+              std::string::npos);
+    const std::string spans = traceOut.str();
+    EXPECT_NE(spans.find("\"trace_id\":\"trace-e2e\""),
+              std::string::npos);
+    for (const char *phase : {"queue", "simulate", "assemble"}) {
+        const std::string needle =
+            std::string("\"name\":\"") + phase + "\"";
+        EXPECT_NE(spans.find(needle), std::string::npos) << phase;
+    }
 }

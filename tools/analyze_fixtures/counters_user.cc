@@ -1,14 +1,18 @@
 // Companion to bad_counters.hh / runner.hh / protocol.hh: provides
 // the write sites that keep FixtureStats::fixLive, CoreStats::cycles
-// and the ServeStats fields alive.
+// and the ServeStats/StoreStats fields alive.
 #include "bad_counters.hh"
 #include "protocol.hh"
+#include "result_store.hh"
 #include "runner.hh"
 
-void touchCounters(FixtureStats &st, CoreStats &cs, ServeStats &ss)
+void touchCounters(FixtureStats &st, CoreStats &cs, ServeStats &ss,
+                   StoreStats &ts)
 {
     st.fixLive += 1;
     cs.cycles += 1;
     ss.fixClients += 1;
     ss.fixOrphanServe += 1;
+    ts.fixStoreHits += 1;
+    ts.fixOrphanStore += 1;
 }

@@ -3,8 +3,12 @@
 // does not have (two findings anchored here), plus the double export
 // of 'dup' reported against runner.hh. The serveMetrics() table below
 // adds a stale ServeStats row (third finding here) and leaves
-// protocol.hh's fixOrphanServe uncovered (finding anchored there).
+// protocol.hh's fixOrphanServe uncovered (finding anchored there);
+// the storeMetrics() table adds a stale StoreStats row (fourth
+// finding here) and leaves result_store.hh's fixOrphanStore
+// uncovered (finding anchored there).
 #include "protocol.hh"
+#include "result_store.hh"
 #include "runner.hh"
 
 #include <vector>
@@ -44,6 +48,26 @@ const std::vector<ServeMetricDesc> &serveMetrics()
         {"fix_serve_ghost",
          [](const ServeStats &s) {
              return static_cast<double>(s.ghostServe);
+         }},
+    };
+    return table;
+}
+
+struct StoreMetricDesc {
+    const char *name;
+    double (*get)(const StoreStats &);
+};
+
+const std::vector<StoreMetricDesc> &storeMetrics()
+{
+    static const std::vector<StoreMetricDesc> table = {
+        {"fix_store_hits",
+         [](const StoreStats &s) {
+             return static_cast<double>(s.fixStoreHits);
+         }},
+        {"fix_store_ghost",
+         [](const StoreStats &s) {
+             return static_cast<double>(s.ghostStore);
          }},
     };
     return table;

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition scrape (version 0.0.4).
+
+The resident daemon renders its scrape from the descriptor tables in
+src/obs/metrics.cc (docs/METRICS.md); this checker holds any scrape —
+the lbp-serve-v1 `metrics` frame payload or the --metrics-port HTTP
+body — to the format's structural rules:
+
+  - every sample line parses as `name value` or `name{labels} value`
+    with a legal metric name and a finite numeric value;
+  - every sample family is announced by `# HELP` and `# TYPE` lines
+    (HELP first), with a TYPE from the exposition vocabulary;
+  - no duplicate series: a (name, label-set) pair appears once;
+  - every `histogram` family has cumulative, monotonically
+    non-decreasing `_bucket{le=...}` series ending in `+Inf`, plus
+    `_sum` and `_count`, with the `+Inf` bucket equal to `_count`.
+
+Usage:
+    check_exposition.py <scrape.txt>      validate a file ("-" = stdin)
+    check_exposition.py --self-test       prove each rule fires
+
+Exit 0 when the scrape is clean, 1 on findings, 2 on usage errors.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, types):
+    """Map a sample name to its announced family: histogram samples
+    carry _bucket/_sum/_count suffixes on the family name."""
+    for suffix in HIST_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def check_exposition(text):
+    """Return a list of findings (strings); empty means clean."""
+    findings = []
+    helps = {}      # family -> line no of # HELP
+    types = {}      # family -> declared type
+    series = set()  # (name, frozenset(labels)) seen
+    hist = {}       # family -> {"buckets": [(le, v)], "sum": v, "count": v}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = re.match(r"# (HELP|TYPE) (\S+)(?: (.*))?$", line)
+            if not m:
+                # Free-form comments are legal; only HELP/TYPE are
+                # structural.
+                continue
+            kind, fam, rest = m.group(1), m.group(2), m.group(3) or ""
+            if not NAME_RE.match(fam):
+                findings.append(f"line {lineno}: bad metric name {fam!r}")
+                continue
+            if kind == "HELP":
+                if fam in helps:
+                    findings.append(
+                        f"line {lineno}: duplicate HELP for {fam}")
+                helps[fam] = lineno
+            else:
+                if fam not in helps:
+                    findings.append(
+                        f"line {lineno}: TYPE {fam} before its HELP")
+                if fam in types:
+                    findings.append(
+                        f"line {lineno}: duplicate TYPE for {fam}")
+                if rest not in VALID_TYPES:
+                    findings.append(
+                        f"line {lineno}: TYPE {fam} has invalid type "
+                        f"{rest!r}")
+                types[fam] = rest
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            findings.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, labels_text = m.group("name"), m.group("labels") or ""
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            findings.append(
+                f"line {lineno}: non-numeric value for {name}: "
+                f"{m.group('value')!r}")
+            continue
+        if value != value:
+            findings.append(f"line {lineno}: NaN value for {name}")
+
+        labels = tuple(sorted(LABEL_RE.findall(labels_text)))
+        if (name, labels) in series:
+            findings.append(
+                f"line {lineno}: duplicate series {name}"
+                f"{labels_text or ''}")
+        series.add((name, labels))
+
+        fam = family_of(name, types)
+        if fam not in types:
+            findings.append(
+                f"line {lineno}: sample {name} has no # TYPE for {fam}")
+        if fam not in helps:
+            findings.append(
+                f"line {lineno}: sample {name} has no # HELP for {fam}")
+
+        if types.get(fam) == "histogram" and fam != name:
+            h = hist.setdefault(fam, {"buckets": [], "sum": None,
+                                      "count": None})
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    findings.append(
+                        f"line {lineno}: {name} sample without an "
+                        f"le label")
+                else:
+                    h["buckets"].append((lineno, le, value))
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            else:
+                h["count"] = value
+
+    for fam, h in sorted(hist.items()):
+        if h["sum"] is None:
+            findings.append(f"histogram {fam}: missing {fam}_sum")
+        if h["count"] is None:
+            findings.append(f"histogram {fam}: missing {fam}_count")
+        if not h["buckets"]:
+            findings.append(f"histogram {fam}: no _bucket samples")
+            continue
+        prev = None
+        for lineno, le, value in h["buckets"]:
+            if prev is not None and value < prev:
+                findings.append(
+                    f"line {lineno}: histogram {fam} bucket "
+                    f'le="{le}" not cumulative ({value} < {prev})')
+            prev = value
+        last_le = h["buckets"][-1][1]
+        if last_le != "+Inf":
+            findings.append(
+                f"histogram {fam}: last bucket le={last_le!r}, "
+                f"expected +Inf")
+        elif h["count"] is not None and h["buckets"][-1][2] != h["count"]:
+            findings.append(
+                f"histogram {fam}: +Inf bucket "
+                f"{h['buckets'][-1][2]} != _count {h['count']}")
+    return findings
+
+
+GOOD = """\
+# HELP serve_requests_received Submit frames parsed
+# TYPE serve_requests_received counter
+serve_requests_received 3
+# HELP result_store_fingerprint_hits Store hits by build fingerprint.
+# TYPE result_store_fingerprint_hits counter
+result_store_fingerprint_hits{fingerprint="abc"} 2
+result_store_fingerprint_hits{fingerprint="def"} 0
+# HELP serve_queue_depth queued+running depth sampled at each accept
+# TYPE serve_queue_depth histogram
+serve_queue_depth_bucket{le="1"} 1
+serve_queue_depth_bucket{le="2"} 3
+serve_queue_depth_bucket{le="+Inf"} 3
+serve_queue_depth_sum 4
+serve_queue_depth_count 3
+"""
+
+# Each fixture seeds exactly one violation; the self-test demands the
+# expected fragment shows up in the findings.
+BAD_FIXTURES = [
+    ("no_help", "serve_scrapes 1\n", "no # HELP"),
+    ("bad_value",
+     "# HELP x y\n# TYPE x counter\nx one\n", "non-numeric value"),
+    ("duplicate_series",
+     "# HELP x y\n# TYPE x counter\nx 1\nx 2\n", "duplicate series"),
+    ("bad_type",
+     "# HELP x y\n# TYPE x speedometer\nx 1\n", "invalid type"),
+    ("non_cumulative",
+     "# HELP h y\n# TYPE h histogram\n"
+     'h_bucket{le="1"} 5\nh_bucket{le="2"} 3\n'
+     'h_bucket{le="+Inf"} 5\nh_sum 9\nh_count 5\n',
+     "not cumulative"),
+    ("inf_mismatch",
+     "# HELP h y\n# TYPE h histogram\n"
+     'h_bucket{le="1"} 2\nh_bucket{le="+Inf"} 2\nh_sum 2\nh_count 3\n',
+     "!= _count"),
+    ("missing_inf",
+     "# HELP h y\n# TYPE h histogram\n"
+     'h_bucket{le="1"} 2\nh_sum 2\nh_count 2\n',
+     "expected +Inf"),
+]
+
+
+def self_test():
+    good = check_exposition(GOOD)
+    if good:
+        print("check_exposition: self-test: clean fixture flagged:")
+        for f in good:
+            print(f"  {f}")
+        return 1
+    rc = 0
+    for name, text, fragment in BAD_FIXTURES:
+        findings = check_exposition(text)
+        if not any(fragment in f for f in findings):
+            print(f"check_exposition: self-test: fixture {name!r} did "
+                  f"not trigger {fragment!r}; got {findings}")
+            rc = 1
+    if rc == 0:
+        print(f"check_exposition: self-test OK "
+              f"({len(BAD_FIXTURES)} seeded violations fire)")
+    return rc
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], encoding="utf-8") as fh:
+            text = fh.read()
+    findings = check_exposition(text)
+    for f in findings:
+        print(f"check_exposition: {f}")
+    if findings:
+        return 1
+    samples = sum(
+        1 for l in text.splitlines() if l and not l.startswith("#"))
+    print(f"check_exposition: OK ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -48,10 +48,11 @@ Rules (findings print as ``rule:file:line: message``):
       Whole-program counter coverage over the MetricsRegistry tables:
       every numeric RunResult field (and every CoreStats field behind
       RunResult::stats) must be read by exactly one runMetrics() row,
-      every SweepStats field by exactly one primary sweepMetrics() row
-      and every ServeStats field by exactly one primary serveMetrics()
+      every SweepStats field by exactly one primary sweepMetrics() row,
+      every ServeStats field by exactly one primary serveMetrics() row
+      and every StoreStats field by exactly one primary storeMetrics()
       row (rows combining several fields are derived and exempt), row
-      names must be unique across all three tables, and no row may
+      names must be unique across all four tables, and no row may
       reference a field that does not exist. This closes the
       declared-but-dead and reported-but-unnamed gaps the registry
       itself cannot see.
@@ -801,10 +802,12 @@ def check_metric_rows(files, findings):
     run_rows = table_rows(metrics_sf, "runMetrics") or []
     sweep_rows = table_rows(metrics_sf, "sweepMetrics") or []
     serve_rows = table_rows(metrics_sf, "serveMetrics") or []
+    store_rows = table_rows(metrics_sf, "storeMetrics") or []
 
-    # Row-name uniqueness across all three tables.
+    # Row-name uniqueness across all four tables.
     seen = {}
-    for name, _refs, pos in run_rows + sweep_rows + serve_rows:
+    for name, _refs, pos in (run_rows + sweep_rows + serve_rows +
+                             store_rows):
         if name in seen:
             emit(findings, metrics_sf, "metric-row-coverage", pos,
                  f"metric row name '{name}' is declared twice; "
@@ -923,6 +926,42 @@ def check_metric_rows(files, findings):
                          pos,
                          f"serveMetrics() row '{name}' reads '{ref}', "
                          f"which is not a ServeStats field — stale "
+                         f"row")
+
+    # StoreStats coverage (when the tree has a result-store surface).
+    # The daemon scrape and the manifest's store section are rendered
+    # straight from this table, so an uncovered field is accounting
+    # the store keeps but never exposes.
+    store_sf, store = find_struct(files, "StoreStats")
+    if store is not None and store_rows:
+        tfields = {f: t for f, t in
+                   class_fields(store_sf.code, store).items()
+                   if t.replace("const", "").strip() in NUMERIC_TYPES}
+        tcount = {f: 0 for f in tfields}
+        for _name, refs, _pos in store_rows:
+            primary = len(refs) == 1
+            for ref in refs:
+                if ref in tcount and primary:
+                    tcount[ref] += 1
+        for field, cnt in sorted(tcount.items()):
+            if cnt == 0:
+                emit(findings, store_sf, "metric-row-coverage",
+                     store.start,
+                     f"StoreStats field '{field}' has no primary "
+                     f"storeMetrics() row — the scrape never "
+                     f"reports it")
+            elif cnt > 1:
+                emit(findings, store_sf, "metric-row-coverage",
+                     store.start,
+                     f"StoreStats field '{field}' is exported by "
+                     f"{cnt} primary storeMetrics() rows; exactly one")
+        for name, refs, pos in store_rows:
+            for ref in refs:
+                if ref.split(".")[0] not in tfields:
+                    emit(findings, metrics_sf, "metric-row-coverage",
+                         pos,
+                         f"storeMetrics() row '{name}' reads '{ref}', "
+                         f"which is not a StoreStats field — stale "
                          f"row")
 
 
@@ -1056,7 +1095,8 @@ RULE_IDS = [
      "Order-dependent float accumulation in a parallel worker"),
     ("stats-counter-dead", "Stats counter declared but never written"),
     ("metric-row-coverage",
-     "RunResult/SweepStats/ServeStats field vs metric-table row "
+     "RunResult/SweepStats/ServeStats/StoreStats field vs "
+     "metric-table row "
      "mismatch"),
     ("no-raw-assert", "Raw assert() instead of lbp_assert"),
     ("no-raw-random", "Unseeded libc/std randomness"),
@@ -1144,8 +1184,9 @@ FIXTURE_EXPECT = {
     "clean_determinism.cc": {},
     "bad_counters.hh": {"stats-counter-dead": 1},
     "runner.hh": {"metric-row-coverage": 2},
-    "metrics.cc": {"metric-row-coverage": 3},
+    "metrics.cc": {"metric-row-coverage": 4},
     "protocol.hh": {"metric-row-coverage": 1},
+    "result_store.hh": {"metric-row-coverage": 1},
     "core.cc": {"no-hot-path-alloc": 2},
     "bad_calls.cc": {"no-raw-assert": 1, "no-raw-random": 1,
                      "no-raw-time": 1},

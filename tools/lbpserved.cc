@@ -43,6 +43,14 @@ struct Options
     double queueTimeout = 600.0;
     std::string eventLogPath;
     bool quiet = false;          ///< suppress the [lbpserved] log
+
+    int metricsPort = -1;        ///< -1 off, 0 kernel-assigned
+    std::string metricsPortFile; ///< write the bound metrics port here
+    double heartbeat = 0.0;      ///< heartbeat interval; 0 = off
+    double gcAge = 0.0;          ///< store GC: max entry age
+    std::uint64_t gcBytes = 0;   ///< store GC: total size cap
+    double gcInterval = 60.0;    ///< seconds between idle GC passes
+    std::string traceOutPath;    ///< Chrome-trace service spans
 };
 
 struct OptSpec
@@ -69,6 +77,20 @@ constexpr OptSpec kOptions[] = {
      "(default 600)"},
     {"--event-log", "<path>", "append the server's JSON-lines event "
      "log (serve_* records plus every sweep's events)"},
+    {"--metrics-port", "<N>", "serve Prometheus text exposition over "
+     "HTTP on this port; 0 = kernel-assigned (default off)"},
+    {"--metrics-port-file", "<path>", "write the bound metrics port "
+     "(for --metrics-port 0)"},
+    {"--heartbeat", "<secs>", "emit a heartbeat event-log record "
+     "every N seconds (default off)"},
+    {"--store-gc-age", "<secs>", "idle GC: evict store entries older "
+     "than this (default off)"},
+    {"--store-gc-bytes", "<N>", "idle GC: then cap the store at N "
+     "bytes, oldest first (default off)"},
+    {"--store-gc-interval", "<secs>", "seconds between idle GC passes "
+     "(default 60)"},
+    {"--trace-out", "<path>", "write per-request service spans as "
+     "Chrome trace JSON at exit"},
     {"--quiet", nullptr, "suppress the [lbpserved] log lines"},
 };
 
@@ -127,6 +149,20 @@ parseOptions(int argc, char **argv, Options &opt)
             opt.queueTimeout = std::atof(v);
         } else if (flag == "--event-log") {
             opt.eventLogPath = v;
+        } else if (flag == "--metrics-port") {
+            opt.metricsPort = std::atoi(v);
+        } else if (flag == "--metrics-port-file") {
+            opt.metricsPortFile = v;
+        } else if (flag == "--heartbeat") {
+            opt.heartbeat = std::atof(v);
+        } else if (flag == "--store-gc-age") {
+            opt.gcAge = std::atof(v);
+        } else if (flag == "--store-gc-bytes") {
+            opt.gcBytes = std::strtoull(v, nullptr, 10);
+        } else if (flag == "--store-gc-interval") {
+            opt.gcInterval = std::atof(v);
+        } else if (flag == "--trace-out") {
+            opt.traceOutPath = v;
         } else if (flag == "--quiet") {
             opt.quiet = true;
         }
@@ -167,6 +203,16 @@ main(int argc, char **argv)
         }
     }
 
+    std::ofstream traceOut;
+    if (!opt.traceOutPath.empty()) {
+        traceOut.open(opt.traceOutPath);
+        if (!traceOut) {
+            std::fprintf(stderr, "lbpserved: cannot write %s\n",
+                         opt.traceOutPath.c_str());
+            return 1;
+        }
+    }
+
     ServeOptions sopts;
     sopts.host = opt.host;
     sopts.port = opt.port;
@@ -177,6 +223,12 @@ main(int argc, char **argv)
     sopts.maxQueue = opt.maxQueue;
     sopts.maxCells = opt.maxCells;
     sopts.queueTimeoutSeconds = opt.queueTimeout;
+    sopts.metricsPort = opt.metricsPort;
+    sopts.heartbeatSeconds = opt.heartbeat;
+    sopts.storeGc.maxAgeSeconds = opt.gcAge;
+    sopts.storeGc.maxBytes = opt.gcBytes;
+    sopts.gcIntervalSeconds = opt.gcInterval;
+    sopts.traceOut = traceOut.is_open() ? &traceOut : nullptr;
 
     Server server(sopts);
     std::string error;
@@ -196,6 +248,9 @@ main(int argc, char **argv)
 
     std::printf("lbpserved: listening on %s:%u\n", opt.host.c_str(),
                 static_cast<unsigned>(server.port()));
+    if (server.metricsPort())
+        std::printf("lbpserved: metrics on %s:%u\n", opt.host.c_str(),
+                    static_cast<unsigned>(server.metricsPort()));
     std::fflush(stdout);
     if (!opt.portFile.empty()) {
         std::ofstream pf(opt.portFile);
@@ -205,6 +260,15 @@ main(int argc, char **argv)
             return 1;
         }
         pf << server.port() << '\n';
+    }
+    if (!opt.metricsPortFile.empty()) {
+        std::ofstream pf(opt.metricsPortFile);
+        if (!pf) {
+            std::fprintf(stderr, "lbpserved: cannot write %s\n",
+                         opt.metricsPortFile.c_str());
+            return 1;
+        }
+        pf << server.metricsPort() << '\n';
     }
 
     const int rc = server.run();

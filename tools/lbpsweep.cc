@@ -60,6 +60,11 @@ struct Options
     std::string portAnalysisPath;
     std::string server;       ///< host:port of a resident lbpserved
     bool quiet = false;       ///< suppress the live progress line
+
+    std::string traceId;      ///< request trace id (--trace)
+    bool storeGc = false;     ///< --store-gc maintenance mode
+    double gcAge = 0.0;       ///< --store-gc-age
+    std::uint64_t gcBytes = 0;  ///< --store-gc-bytes
 };
 
 struct OptSpec
@@ -87,6 +92,14 @@ constexpr OptSpec kOptions[] = {
      "sensitivity CSV (runs a forensics pass)"},
     {"--server", "<host:port>", "run the sweep on a resident lbpserved "
      "instead of locally (docs/SERVER.md)"},
+    {"--trace", "<id>", "request trace id stamped on every event "
+     "record and the manifest (default: server-minted in --server "
+     "mode, off locally)"},
+    {"--store-gc", nullptr, "no sweep: garbage-collect the store by "
+     "--store-gc-age/--store-gc-bytes and print the eviction audit"},
+    {"--store-gc-age", "<secs>", "gc: evict entries older than this"},
+    {"--store-gc-bytes", "<N>", "gc: then cap the store at N bytes, "
+     "oldest first"},
     {"--quiet", nullptr, "suppress the live progress line"},
 };
 
@@ -162,6 +175,14 @@ parseOptions(int argc, char **argv, Options &opt)
             opt.portAnalysisPath = v;
         } else if (flag == "--server") {
             opt.server = v;
+        } else if (flag == "--trace") {
+            opt.traceId = v;
+        } else if (flag == "--store-gc") {
+            opt.storeGc = true;
+        } else if (flag == "--store-gc-age") {
+            opt.gcAge = std::atof(v);
+        } else if (flag == "--store-gc-bytes") {
+            opt.gcBytes = std::strtoull(v, nullptr, 10);
         } else if (flag == "--quiet") {
             opt.quiet = true;
         }
@@ -218,6 +239,41 @@ runPortAnalysis(const std::vector<Program> &suite, const Options &opt)
                 opt.portAnalysisPath.c_str());
 }
 
+/**
+ * Maintenance mode (--store-gc): apply the age/size retention policy
+ * to the persistent store without sweeping, and print every eviction
+ * so the operation leaves an audit trail on the terminal.
+ */
+int
+runStoreGc(const Options &opt)
+{
+    if (opt.storeDir.empty())
+        die("--store-gc needs a store (--store or "
+            "$REPRO_RESULT_STORE)");
+    if (opt.gcAge <= 0.0 && opt.gcBytes == 0)
+        die("--store-gc needs --store-gc-age and/or "
+            "--store-gc-bytes");
+    ResultStore store(opt.storeDir);
+    StoreGcPolicy policy;
+    policy.maxAgeSeconds = opt.gcAge;
+    policy.maxBytes = opt.gcBytes;
+    const std::vector<StoreAuditRecord> evicted = store.gc(policy);
+    std::uint64_t bytes = 0;
+    for (const StoreAuditRecord &rec : evicted) {
+        bytes += rec.bytes;
+        std::printf("evict %s (%s, %llu bytes, age %.0fs, "
+                    "fingerprint %s)\n",
+                    rec.file.c_str(), rec.reason.c_str(),
+                    static_cast<unsigned long long>(rec.bytes),
+                    rec.ageSeconds, rec.fingerprint.c_str());
+    }
+    std::printf("store gc: evicted %zu entries (%llu bytes) from %s\n",
+                evicted.size(),
+                static_cast<unsigned long long>(bytes),
+                store.dir().c_str());
+    return 0;
+}
+
 /** "store_hit" -> "store hit" for the summary table. */
 std::string
 tableOutcome(std::string s)
@@ -261,6 +317,7 @@ runServerMode(const Options &opt, const SweepSpec &spec,
     copts.fullSuite = opt.fullSuite;
     copts.warmupInstrs = opt.warmup;
     copts.measureInstrs = opt.instrs;
+    copts.traceId = opt.traceId;
     copts.progress = opt.quiet ? nullptr : stderr;
 
     std::ofstream eventLog;
@@ -285,6 +342,8 @@ runServerMode(const Options &opt, const SweepSpec &spec,
     if (res.dedup)
         std::printf("request coalesced with an identical in-flight "
                     "sweep on the server\n");
+    if (!res.traceId.empty())
+        std::printf("server trace id: %s\n", res.traceId.c_str());
 
     TextTable table({"config", "label", "outcome", "wall_s"});
     for (const auto &c : res.configs) {
@@ -336,6 +395,9 @@ main(int argc, char **argv)
     if (!parseOptions(argc, argv, opt))
         return 1;
 
+    if (opt.storeGc)
+        return runStoreGc(opt);
+
     // Resolve the request through the shared spec grammar
     // (sim/sweep_spec.hh) — the same code path a server submit takes.
     SweepSpec spec;
@@ -382,6 +444,7 @@ main(int argc, char **argv)
     sweepOpts.store = opt.storeDir.empty() ? nullptr : &store;
     sweepOpts.eventLog = eventLog.is_open() ? &eventLog : nullptr;
     sweepOpts.progress = opt.quiet ? nullptr : stderr;
+    sweepOpts.traceId = opt.traceId;
 
     const SweepResult res = runSweep(suite, configs, sweepOpts);
 

@@ -4,6 +4,7 @@
 Usage:
     perf_compare.py --baseline bench/baseline_throughput.json \
         [--out BENCH_throughput.json] measured.json [measured.json ...]
+    perf_compare.py --self-test
 
 Each measured file is a telemetry dump written by lbpsim
 (--throughput-json) or by the benches (REPRO_THROUGHPUT_JSON) — the
@@ -19,10 +20,14 @@ fraction below its baseline emits a GitHub ``::warning`` annotation
 baseline entry may carry its own ``tolerance_fraction`` to override
 the file-level default (used for probes whose speed depends on runner
 characteristics beyond CPU clock, e.g. the memcpy-bound snapshot
-scheme). The real signal
-is the trajectory of the uploaded BENCH_throughput.json artifacts over
-time. The exit code is non-zero only for operational errors (missing
-or malformed files), never for slow measurements.
+scheme). A baselined label that yields no usable measurement also
+warns — distinguishing a probe that is absent from the telemetry
+entirely (the probe was dropped or renamed) from one that appeared
+only as memo hits or zero-wall records (the run never actually
+simulated it). The real signal is the trajectory of the uploaded
+BENCH_throughput.json artifacts over time. The exit code is non-zero
+only for operational errors (missing or malformed files), never for
+slow measurements.
 
 With --out, the measured records are merged into a single telemetry
 JSON (same shape as the inputs) so the CI job has one artifact to
@@ -61,37 +66,19 @@ def merge_json(records: list[dict], bench: str) -> dict:
     }
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--out", help="write merged telemetry JSON here")
-    ap.add_argument("measured", nargs="+")
-    args = ap.parse_args()
-
-    try:
-        with open(args.baseline, "r", encoding="utf-8") as f:
-            baseline = json.load(f)
-    except (OSError, ValueError) as e:
-        print(f"::error::perf_compare: cannot read baseline: {e}")
-        return 1
-
+def compare(baseline: dict, records: list[dict]) -> tuple[list[str], int]:
+    """Return (output lines, warning count) for one comparison run."""
     tolerance = float(baseline.get("tolerance_fraction", 0.4))
     expected = {b["label"]: b for b in baseline.get("baselines", [])}
 
-    records: list[dict] = []
-    for path in args.measured:
-        try:
-            records.extend(load_records(path))
-        except (OSError, ValueError) as e:
-            print(f"::error::perf_compare: {e}")
-            return 1
-
+    seen = {r.get("label", "?") for r in records}
     measured = {}
     for r in records:
         if not r.get("memo_hit") and float(r.get("wall_s", 0.0)) > 0:
             # Last record wins if a label repeats within one run.
             measured[r.get("label", "?")] = r
 
+    lines: list[str] = []
     warned = 0
     for label, base in expected.items():
         want = float(base["minstr_per_s"])
@@ -99,20 +86,26 @@ def main() -> int:
         floor = want * (1.0 - tol)
         got = measured.get(label)
         if got is None:
-            print(
+            if label in seen:
+                why = ("only memo-hit or zero-wall records — the run "
+                       "never freshly simulated it")
+            else:
+                why = ("absent from the measured telemetry — dropped "
+                       "or renamed probe?")
+            lines.append(
                 f"::warning::perf-smoke: baseline label '{label}' "
-                f"was not measured this run"
+                f"has no usable measurement this run ({why})"
             )
             warned += 1
             continue
         speed = float(got["minstr_per_s"])
         verdict = "OK" if speed >= floor else "SLOW"
-        print(
+        lines.append(
             f"perf-smoke: {label:40s} {speed:8.2f} Minstr/s "
             f"(baseline {want:.2f}, floor {floor:.2f}) {verdict}"
         )
         if speed < floor:
-            print(
+            lines.append(
                 f"::warning::perf-smoke: '{label}' ran at "
                 f"{speed:.2f} Minstr/s, more than "
                 f"{tol:.0%} below the committed baseline "
@@ -123,7 +116,96 @@ def main() -> int:
 
     for label in measured:
         if label not in expected:
-            print(f"perf-smoke: {label}: no committed baseline (info)")
+            lines.append(
+                f"perf-smoke: {label}: no committed baseline (info)")
+
+    lines.append(
+        f"perf-smoke: {len(measured)} labels measured, "
+        f"{len(expected)} baselined, {warned} warnings (warn-only)"
+    )
+    return lines, warned
+
+
+def self_test() -> int:
+    """Seeded scenarios: each must produce exactly the expected
+    warning (or none), proving the gate cannot silently pass a
+    missing or slow probe."""
+    baseline = {
+        "tolerance_fraction": 0.4,
+        "baselines": [
+            {"label": "fast", "minstr_per_s": 10.0},
+            {"label": "slow", "minstr_per_s": 10.0},
+            {"label": "memoed", "minstr_per_s": 10.0},
+            {"label": "vanished", "minstr_per_s": 10.0},
+        ],
+    }
+    records = [
+        {"label": "fast", "minstr_per_s": 9.0, "wall_s": 1.0},
+        {"label": "slow", "minstr_per_s": 1.0, "wall_s": 1.0},
+        {"label": "memoed", "minstr_per_s": 0.0, "wall_s": 0.0,
+         "memo_hit": True},
+        {"label": "unbaselined", "minstr_per_s": 5.0, "wall_s": 1.0},
+    ]
+    lines, warned = compare(baseline, records)
+    text = "\n".join(lines)
+    checks = [
+        ("slow probe warns", "'slow' ran at 1.00"),
+        ("memo-only probe warns with its cause",
+         "'memoed' has no usable measurement this run (only memo-hit"),
+        ("vanished probe warns with its cause",
+         "'vanished' has no usable measurement this run (absent"),
+        ("unbaselined label is info only",
+         "unbaselined: no committed baseline (info)"),
+        ("fast probe passes", "fast"),
+    ]
+    ok = True
+    for name, fragment in checks:
+        if fragment not in text:
+            print(f"perf_compare self-test: {name}: {fragment!r} "
+                  f"not found in output")
+            ok = False
+    if warned != 3:
+        print(f"perf_compare self-test: expected 3 warnings, "
+              f"got {warned}")
+        ok = False
+    if ok:
+        print("perf_compare: self-test OK (3 seeded warnings fire)")
+        return 0
+    print(text)
+    return 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline")
+    ap.add_argument("--out", help="write merged telemetry JSON here")
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("measured", nargs="*")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.measured:
+        ap.error("--baseline and at least one measured file required")
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"::error::perf_compare: cannot read baseline: {e}")
+        return 1
+
+    records: list[dict] = []
+    for path in args.measured:
+        try:
+            records.extend(load_records(path))
+        except (OSError, ValueError) as e:
+            print(f"::error::perf_compare: {e}")
+            return 1
+
+    lines, _warned = compare(baseline, records)
+    for line in lines:
+        print(line)
 
     if args.out:
         try:
@@ -133,11 +215,6 @@ def main() -> int:
         except OSError as e:
             print(f"::error::perf_compare: cannot write {args.out}: {e}")
             return 1
-
-    print(
-        f"perf-smoke: {len(measured)} labels measured, "
-        f"{len(expected)} baselined, {warned} warnings (warn-only)"
-    )
     return 0
 
 
